@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *
+ *  1. Reconfiguration epoch length — the paper states "more frequent
+ *     reconfigurations do not improve results" (Sec. IV-B).
+ *  2. Convex-hull (DRRIP-approximation) miss curves vs. raw LRU
+ *     curves (Sec. IV-A).
+ *  3. Batch-curve rate normalization (simulator fidelity choice).
+ *  4. Coherence-walk model: migrate vs. invalidate moved lines
+ *     (simulator scaling choice; invalidation is the literal
+ *     hardware behaviour).
+ *  5. The trading algorithm the paper built and rejected: trades are
+ *     rare and gains marginal (Sec. V-D / VIII-C).
+ */
+
+#include "bench/bench_common.hh"
+#include "src/core/trade_policy.hh"
+
+using namespace jumanji;
+using namespace jumanji::bench;
+
+namespace {
+
+struct Row
+{
+    double tail;
+    double batchWs;
+};
+
+Row
+runVariant(const SystemConfig &cfg, const WorkloadMix &mix)
+{
+    ExperimentHarness harness(cfg);
+    MixResult r = harness.runMix(mix, {LlcDesign::Jumanji},
+                                 LoadLevel::High);
+    const DesignResult &ju = r.of(LlcDesign::Jumanji);
+    return Row{ju.meanTailRatio, ju.batchSpeedup};
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    header("Ablations", "design-choice studies (Jumanji, case-study "
+                        "workload)");
+
+    SystemConfig base = benchConfig();
+    Rng rng(base.seed);
+    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
+
+    std::printf("%-34s %12s %12s\n", "variant", "tail ratio",
+                "batchWS");
+
+    {
+        Row r = runVariant(base, mix);
+        std::printf("%-34s %12.3f %12.3f\n", "baseline (all defaults)",
+                    r.tail, r.batchWs);
+    }
+
+    // 1. Epoch length sweep.
+    for (double factor : {0.5, 2.0}) {
+        SystemConfig cfg = base;
+        cfg.epochTicks = static_cast<Tick>(
+            static_cast<double>(base.epochTicks) * factor);
+        Row r = runVariant(cfg, mix);
+        char label[64];
+        std::snprintf(label, sizeof label, "epoch x%.1f", factor);
+        std::printf("%-34s %12.3f %12.3f\n", label, r.tail, r.batchWs);
+    }
+
+    // 2. Raw (non-hulled) miss curves.
+    {
+        SystemConfig cfg = base;
+        cfg.hullCurves = false;
+        Row r = runVariant(cfg, mix);
+        std::printf("%-34s %12.3f %12.3f\n", "raw curves (no hull)",
+                    r.tail, r.batchWs);
+    }
+
+    // 3. No batch-curve rate normalization.
+    {
+        SystemConfig cfg = base;
+        cfg.rateNormalizeCurves = false;
+        Row r = runVariant(cfg, mix);
+        std::printf("%-34s %12.3f %12.3f\n",
+                    "no rate normalization", r.tail, r.batchWs);
+    }
+
+    // 4. Invalidating coherence walk (literal hardware model).
+    {
+        SystemConfig cfg = base;
+        cfg.migrateOnReconfig = false;
+        Row r = runVariant(cfg, mix);
+        std::printf("%-34s %12.3f %12.3f\n",
+                    "invalidate on reconfig", r.tail, r.batchWs);
+    }
+
+    // 5. The trading algorithm (the paper's rejected refinement).
+    {
+        // Driven directly: the policy factory doesn't expose it (the
+        // paper shipped without it), so count trades on the paper's
+        // standard inputs.
+        SystemConfig cfg = base;
+        ExperimentHarness harness(cfg);
+        auto calib = harness.calibrationsFor(mix);
+
+        // Probe the policy on inputs captured from a normal run.
+        JumanjiTradePolicy trade;
+        SystemConfig probeCfg = cfg;
+        probeCfg.design = LlcDesign::Jumanji;
+        probeCfg.load = LoadLevel::High;
+        System probe(probeCfg, mix, calib);
+        probe.run();
+
+        // Re-run the trade pass over synthetic epoch inputs sampled
+        // from the system's final state via the public policy API.
+        EpochInputs in;
+        in.geo = cfg.placementGeometry();
+        in.mesh = &probe.memPath().mesh();
+        int idx = 0;
+        for (const auto &core : probe.cores()) {
+            VcInfo vc;
+            vc.vc = static_cast<VcId>(idx);
+            vc.app = static_cast<AppId>(idx);
+            vc.vm = core->owner().vm;
+            vc.coreTile = static_cast<std::uint32_t>(core->id());
+            vc.latencyCritical = core->owner().latencyCritical;
+            vc.curve = probe.memPath()
+                           .umon(static_cast<VcId>(idx))
+                           .missCurve()
+                           .convexHull();
+            vc.targetLines = in.geo.totalLines() / 16;
+            in.vcs.push_back(std::move(vc));
+            idx++;
+        }
+        for (int epoch = 0; epoch < 10; epoch++)
+            trade.reconfigure(in);
+
+        std::printf("%-34s considered=%llu accepted=%llu\n",
+                    "trading pass (10 epochs)",
+                    static_cast<unsigned long long>(
+                        trade.tradesConsidered()),
+                    static_cast<unsigned long long>(
+                        trade.tradesAccepted()));
+    }
+
+    note("Paper: results are insensitive to the epoch length; the "
+         "hull matters for DRRIP fidelity; trades are rare because "
+         "they may never penalize latency-critical apps (Sec. "
+         "VIII-C). The invalidating walk is the literal hardware "
+         "model — at this simulator's compressed epochs it "
+         "over-penalizes reconfiguration, which is why migration is "
+         "the default (DESIGN.md).");
+    return 0;
+}

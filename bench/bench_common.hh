@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every binary prints the rows/series of one table or figure from
+ * the paper. Scale knobs:
+ *   JUMANJI_MIXES=<n>  random batch mixes per configuration
+ *   JUMANJI_SEED=<n>   base seed
+ */
+
+#ifndef JUMANJI_BENCH_BENCH_COMMON_HH
+#define JUMANJI_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/sim/logging.hh"
+#include "src/system/harness.hh"
+
+namespace jumanji {
+namespace bench {
+
+inline std::uint64_t
+seedFromEnv(std::uint64_t fallback = 1)
+{
+    const char *env = std::getenv("JUMANJI_SEED");
+    if (env == nullptr) return fallback;
+    std::uint64_t v = std::strtoull(env, nullptr, 10);
+    return v == 0 ? fallback : v;
+}
+
+/** The five designs of the main comparison (Sec. VII). */
+inline std::vector<LlcDesign>
+mainDesigns()
+{
+    return {LlcDesign::Adaptive, LlcDesign::VMPart, LlcDesign::Jigsaw,
+            LlcDesign::Jumanji};
+}
+
+/** Standard bench-scale config with env seed. */
+inline SystemConfig
+benchConfig()
+{
+    SystemConfig cfg = SystemConfig::benchScaled();
+    cfg.seed = seedFromEnv();
+    return cfg;
+}
+
+inline void
+header(const std::string &figure, const std::string &caption)
+{
+    std::printf("==========================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+    std::printf("==========================================================\n");
+}
+
+inline void
+note(const std::string &text)
+{
+    std::printf("note: %s\n", text.c_str());
+}
+
+} // namespace bench
+} // namespace jumanji
+
+#endif // JUMANJI_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces Fig. 9: sensitivity of Jumanji to the feedback
+ * controller's parameters — the target latency range, the panic
+ * threshold, and the step size.
+ *
+ * Paper shape: speedup and tail latency barely change across
+ * parameter values ("Jumanji is insensitive to values").
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace jumanji;
+using namespace jumanji::bench;
+
+namespace {
+
+void
+runPoint(ExperimentHarness &harness, const std::string &label,
+         const ControllerParams &params, const WorkloadMix &mix)
+{
+    SystemConfig cfg = harness.baseConfig();
+    cfg.controller = params;
+    ExperimentHarness local(cfg);
+    MixResult result =
+        local.runMix(mix, {LlcDesign::Jumanji}, LoadLevel::High);
+    const DesignResult &ju = result.of(LlcDesign::Jumanji);
+    std::printf("%-26s %12.3f %12.3f\n", label.c_str(),
+                ju.batchSpeedup, ju.meanTailRatio);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    header("Figure 9", "feedback-controller parameter sensitivity");
+
+    SystemConfig cfg = benchConfig();
+    Rng rng(cfg.seed);
+    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
+    ExperimentHarness harness(cfg);
+
+    std::printf("%-26s %12s %12s\n", "parameters", "batchWS",
+                "tail ratio");
+
+    // Group 1: target latency range (lowFrac, highFrac).
+    for (auto [lo, hi] : {std::pair{0.80, 0.90}, {0.85, 0.95},
+                          {0.90, 0.99}}) {
+        ControllerParams p;
+        p.lowFrac = lo;
+        p.highFrac = hi;
+        char label[64];
+        std::snprintf(label, sizeof label, "range [%.2f, %.2f]%s", lo,
+                      hi, lo == 0.85 ? " *" : "");
+        runPoint(harness, label, p, mix);
+    }
+
+    // Group 2: panic threshold.
+    for (double panic : {1.05, 1.10, 1.20}) {
+        ControllerParams p;
+        p.panicFrac = panic;
+        char label[64];
+        std::snprintf(label, sizeof label, "panic %.2f%s", panic,
+                      panic == 1.10 ? " *" : "");
+        runPoint(harness, label, p, mix);
+    }
+
+    // Group 3: step size.
+    for (double step : {0.05, 0.10, 0.20}) {
+        ControllerParams p;
+        p.stepFrac = step;
+        char label[64];
+        std::snprintf(label, sizeof label, "step %.2f%s", step,
+                      step == 0.10 ? " *" : "");
+        runPoint(harness, label, p, mix);
+    }
+
+    note("* = the paper's defaults. Paper: results change very "
+         "little across parameter values.");
+    return 0;
+}

@@ -1,0 +1,245 @@
+#include "src/cache/cache_array.hh"
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+namespace {
+
+/** Mixes line address bits so consecutive lines spread across sets. */
+std::uint64_t
+mixBits(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+CacheArray::CacheArray(std::uint32_t sets, std::uint32_t ways,
+                       ReplKind repl, std::uint64_t seed)
+    : sets_(sets),
+      ways_(ways),
+      lines_(static_cast<std::size_t>(sets) * ways),
+      repl_(ReplPolicy::create(repl, sets, ways, seed))
+{
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        fatal("CacheArray: sets must be a nonzero power of two");
+    if (ways == 0 || ways > 64)
+        fatal("CacheArray: ways must be in [1, 64]");
+}
+
+std::uint32_t
+CacheArray::setIndex(LineAddr line) const
+{
+    return static_cast<std::uint32_t>(mixBits(line) & (sets_ - 1));
+}
+
+CacheArray::Line &
+CacheArray::lineAt(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+const CacheArray::Line &
+CacheArray::lineAt(std::uint32_t set, std::uint32_t way) const
+{
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+}
+
+void
+CacheArray::accountFill(const AccessOwner &owner)
+{
+    validCount_++;
+    appOccupancy_[owner.app]++;
+    vcOccupancy_[owner.vc]++;
+    vmApps_[owner.vm][owner.app]++;
+}
+
+void
+CacheArray::accountDrop(const AccessOwner &owner)
+{
+    validCount_--;
+    appOccupancy_[owner.app]--;
+    vcOccupancy_[owner.vc]--;
+    auto vmIt = vmApps_.find(owner.vm);
+    if (vmIt != vmApps_.end()) {
+        auto appIt = vmIt->second.find(owner.app);
+        if (appIt != vmIt->second.end() && --appIt->second == 0)
+            vmIt->second.erase(appIt);
+    }
+}
+
+ArrayAccessResult
+CacheArray::access(LineAddr line, const AccessOwner &owner)
+{
+    ArrayAccessResult result;
+    std::uint32_t set = setIndex(line);
+
+    // Lookup: CAT semantics, hits may land in any way.
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        Line &l = lineAt(set, w);
+        if (l.valid && l.tag == line) {
+            repl_->onHit(set, w);
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: fill within the owner's way mask.
+    WayMask mask = wayMaskFor(owner.vc);
+    if (mask.empty()) {
+        // No fill rights: treat as an uncached access (still a miss).
+        return result;
+    }
+
+    // Prefer an invalid allowed way.
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        if (mask.contains(w) && !lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_)
+        victim = repl_->victimWay(set, mask);
+
+    Line &v = lineAt(set, victim);
+    if (v.valid) {
+        result.evicted = true;
+        result.evictedOwner = v.owner;
+        result.evictedLine = v.tag;
+        accountDrop(v.owner);
+    }
+    v.tag = line;
+    v.valid = true;
+    v.owner = owner;
+    accountFill(owner);
+    repl_->onFill(set, victim);
+    return result;
+}
+
+bool
+CacheArray::insert(LineAddr line, const AccessOwner &owner)
+{
+    std::uint32_t set = setIndex(line);
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        Line &l = lineAt(set, w);
+        if (l.valid && l.tag == line) return true;
+    }
+    WayMask mask = wayMaskFor(owner.vc);
+    if (mask.empty()) return false;
+
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        if (mask.contains(w) && !lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_) victim = repl_->victimWay(set, mask);
+
+    Line &v = lineAt(set, victim);
+    if (v.valid) accountDrop(v.owner);
+    v.tag = line;
+    v.valid = true;
+    v.owner = owner;
+    accountFill(owner);
+    repl_->onFill(set, victim);
+    return true;
+}
+
+bool
+CacheArray::contains(LineAddr line) const
+{
+    std::uint32_t set = setIndex(line);
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        const Line &l = lineAt(set, w);
+        if (l.valid && l.tag == line) return true;
+    }
+    return false;
+}
+
+void
+CacheArray::setWayMask(VcId vc, const WayMask &mask)
+{
+    masks_[vc] = mask;
+}
+
+WayMask
+CacheArray::wayMaskFor(VcId vc) const
+{
+    auto it = masks_.find(vc);
+    if (it != masks_.end()) return it->second;
+    return WayMask::all(ways_);
+}
+
+void
+CacheArray::clearWayMasks()
+{
+    masks_.clear();
+}
+
+std::uint64_t
+CacheArray::invalidateIf(
+    const std::function<bool(LineAddr, const AccessOwner &)> &pred)
+{
+    std::uint64_t dropped = 0;
+    for (std::uint32_t s = 0; s < sets_; s++) {
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            Line &l = lineAt(s, w);
+            if (l.valid && pred(l.tag, l.owner)) {
+                accountDrop(l.owner);
+                l.valid = false;
+                repl_->onInvalidate(s, w);
+                dropped++;
+            }
+        }
+    }
+    return dropped;
+}
+
+std::uint64_t
+CacheArray::invalidateVc(VcId vc)
+{
+    return invalidateIf([vc](LineAddr, const AccessOwner &o) {
+        return o.vc == vc;
+    });
+}
+
+std::uint64_t
+CacheArray::invalidateAll()
+{
+    return invalidateIf([](LineAddr, const AccessOwner &) { return true; });
+}
+
+std::uint64_t
+CacheArray::occupancyOfApp(AppId app) const
+{
+    auto it = appOccupancy_.find(app);
+    return it == appOccupancy_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+CacheArray::occupancyOfVc(VcId vc) const
+{
+    auto it = vcOccupancy_.find(vc);
+    return it == vcOccupancy_.end() ? 0 : it->second;
+}
+
+std::uint32_t
+CacheArray::appsFromOtherVms(VmId exceptVm) const
+{
+    std::uint32_t count = 0;
+    for (const auto &[vm, apps] : vmApps_) {
+        if (vm == exceptVm) continue;
+        count += static_cast<std::uint32_t>(apps.size());
+    }
+    return count;
+}
+
+} // namespace jumanji

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A set-associative cache array with CAT-style way-partitioning.
+ *
+ * Lines are tagged with the application, virtual cache (VC), and
+ * trust domain (VM) that own them, so higher layers can account for
+ * per-VC occupancy, run the coherence walk on reconfiguration, and
+ * compute the security vulnerability metric.
+ */
+
+#ifndef JUMANJI_CACHE_CACHE_ARRAY_HH
+#define JUMANJI_CACHE_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/replacement.hh"
+#include "src/cache/way_mask.hh"
+#include "src/sim/types.hh"
+
+namespace jumanji {
+
+/** Identity of a cached line's owner, carried on every access. */
+struct AccessOwner
+{
+    AppId app = kInvalidApp;
+    VcId vc = kInvalidVc;
+    VmId vm = kInvalidVm;
+    /** LC traffic gets reserved memory bandwidth (Heracles-style). */
+    bool latencyCritical = false;
+};
+
+/** Result of one array access. */
+struct ArrayAccessResult
+{
+    bool hit = false;
+    /** Valid line was evicted to make room (never true on a hit). */
+    bool evicted = false;
+    /** Owner of the evicted line, if any. */
+    AccessOwner evictedOwner;
+    LineAddr evictedLine = 0;
+};
+
+/**
+ * The tag/data array of one cache (an LLC bank, or a private cache).
+ *
+ * Partitioning follows Intel CAT semantics: an access may *hit* in
+ * any way, but fills choose victims only within the accessor's way
+ * mask. When a VC has no mask installed, the fallback mask (all ways)
+ * applies.
+ */
+class CacheArray
+{
+  public:
+    /**
+     * @param sets Number of sets (power of two).
+     * @param ways Associativity (<= 64).
+     * @param repl Replacement policy kind.
+     * @param seed Seed for stochastic replacement state.
+     */
+    CacheArray(std::uint32_t sets, std::uint32_t ways, ReplKind repl,
+               std::uint64_t seed);
+
+    std::uint32_t numSets() const { return sets_; }
+    std::uint32_t numWays() const { return ways_; }
+    std::uint64_t numLines() const
+    {
+        return static_cast<std::uint64_t>(sets_) * ways_;
+    }
+
+    /**
+     * Performs an access: on miss, fills the line, evicting within
+     * the owner VC's way mask.
+     */
+    ArrayAccessResult access(LineAddr line, const AccessOwner &owner);
+
+    /**
+     * Inserts @p line without hit/miss semantics (no-op if already
+     * present): used by the reconfiguration walk to migrate lines
+     * between banks. Fills within the owner's way mask; silently
+     * drops the line if the mask is empty.
+     *
+     * @return true if the line is resident afterwards.
+     */
+    bool insert(LineAddr line, const AccessOwner &owner);
+
+    /** Looks up @p line without side effects. */
+    bool contains(LineAddr line) const;
+
+    /** Installs the way mask for @p vc; empty() removes fill rights. */
+    void setWayMask(VcId vc, const WayMask &mask);
+
+    /** Returns the installed mask for @p vc, or the full mask. */
+    WayMask wayMaskFor(VcId vc) const;
+
+    /** Removes all per-VC masks (back to fully shared). */
+    void clearWayMasks();
+
+    /**
+     * Invalidates every line for which @p pred returns true; used by
+     * the reconfiguration coherence walk.
+     *
+     * @return Number of lines invalidated.
+     */
+    std::uint64_t invalidateIf(
+        const std::function<bool(LineAddr, const AccessOwner &)> &pred);
+
+    /** Invalidates all lines owned by @p vc. @return lines dropped. */
+    std::uint64_t invalidateVc(VcId vc);
+
+    /** Invalidates the whole array (VM swap-in flush). */
+    std::uint64_t invalidateAll();
+
+    /** Lines currently valid for @p app (occupancy accounting). */
+    std::uint64_t occupancyOfApp(AppId app) const;
+
+    /** Lines currently valid for @p vc. */
+    std::uint64_t occupancyOfVc(VcId vc) const;
+
+    /** Distinct apps, excluding @p exceptVm's, with >=1 valid line. */
+    std::uint32_t appsFromOtherVms(VmId exceptVm) const;
+
+    /** Total valid lines. */
+    std::uint64_t validLines() const { return validCount_; }
+
+    /** Test hook: the replacement policy instance. */
+    ReplPolicy &replacement() { return *repl_; }
+
+  private:
+    struct Line
+    {
+        LineAddr tag = 0;
+        bool valid = false;
+        AccessOwner owner;
+    };
+
+    std::uint32_t setIndex(LineAddr line) const;
+    Line &lineAt(std::uint32_t set, std::uint32_t way);
+    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
+
+    void accountFill(const AccessOwner &owner);
+    void accountDrop(const AccessOwner &owner);
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplPolicy> repl_;
+    std::unordered_map<VcId, WayMask> masks_;
+
+    std::uint64_t validCount_ = 0;
+    std::unordered_map<AppId, std::uint64_t> appOccupancy_;
+    std::unordered_map<VcId, std::uint64_t> vcOccupancy_;
+    /** Per-VM set of apps with >0 lines: vm -> (app -> count). */
+    std::unordered_map<VmId, std::unordered_map<AppId, std::uint64_t>>
+        vmApps_;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_CACHE_CACHE_ARRAY_HH

@@ -1,0 +1,45 @@
+#include "src/cache/cache_bank.hh"
+
+namespace jumanji {
+
+CacheBank::CacheBank(BankId id, std::uint32_t sets, std::uint32_t ways,
+                     ReplKind repl, const BankTimingParams &timing,
+                     std::uint64_t seed)
+    : id_(id),
+      array_(sets, ways, repl, seed),
+      timing_(timing),
+      portBusyUntil_(std::max(1u, timing.ports), 0)
+{
+}
+
+Tick
+CacheBank::acquirePort(Tick now)
+{
+    // Grab the earliest-free port; an access arriving while all ports
+    // are busy queues until one frees.
+    auto it = std::min_element(portBusyUntil_.begin(), portBusyUntil_.end());
+    Tick grant = std::max(now, *it);
+    *it = grant + timing_.portOccupancy;
+    return grant;
+}
+
+BankAccessResult
+CacheBank::access(Tick now, LineAddr line, const AccessOwner &owner)
+{
+    BankAccessResult result;
+    Tick grant = acquirePort(now);
+    result.queueDelay = grant - now;
+
+    ArrayAccessResult arr = array_.access(line, owner);
+    result.hit = arr.hit;
+    result.evicted = arr.evicted;
+    result.evictedOwner = arr.evictedOwner;
+    result.latency = result.queueDelay + timing_.accessLatency;
+
+    accesses_++;
+    if (arr.hit) hits_++;
+    queueCycles_ += result.queueDelay;
+    return result;
+}
+
+} // namespace jumanji

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * One LLC bank: a CacheArray plus timing — fixed access latency and a
+ * limited number of ports modelled as busy-until times.
+ *
+ * Port queueing is a real timing channel (the Fig. 11 port attack):
+ * when two agents access the same bank concurrently, the later one
+ * waits, and that wait is observable in its access latency.
+ */
+
+#ifndef JUMANJI_CACHE_CACHE_BANK_HH
+#define JUMANJI_CACHE_CACHE_BANK_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/cache/cache_array.hh"
+#include "src/sim/types.hh"
+
+namespace jumanji {
+
+/** Timing parameters for a bank. */
+struct BankTimingParams
+{
+    /** Cycles from port grant to data (Table II: 13). */
+    Tick accessLatency = 13;
+    /** Number of ports; each serves one access per occupancy window. */
+    std::uint32_t ports = 1;
+    /** Cycles a port stays busy per access (pipelined banks: 1). */
+    Tick portOccupancy = 1;
+};
+
+/** Timing + hit outcome of a bank access. */
+struct BankAccessResult
+{
+    bool hit = false;
+    /** Cycles spent queueing for a port. */
+    Tick queueDelay = 0;
+    /** Total bank cycles: queue + access latency. */
+    Tick latency = 0;
+    bool evicted = false;
+    AccessOwner evictedOwner;
+};
+
+/**
+ * An LLC bank with timing. The array is exposed for partition-mask
+ * installation and occupancy queries.
+ */
+class CacheBank
+{
+  public:
+    CacheBank(BankId id, std::uint32_t sets, std::uint32_t ways,
+              ReplKind repl, const BankTimingParams &timing,
+              std::uint64_t seed);
+
+    BankId id() const { return id_; }
+    CacheArray &array() { return array_; }
+    const CacheArray &constArray() const { return array_; }
+
+    /**
+     * Performs a timed access arriving at the bank at tick @p now.
+     */
+    BankAccessResult access(Tick now, LineAddr line,
+                            const AccessOwner &owner);
+
+    std::uint64_t totalAccesses() const { return accesses_; }
+    std::uint64_t totalHits() const { return hits_; }
+    std::uint64_t totalQueueCycles() const { return queueCycles_; }
+
+  private:
+    /** Returns the grant time for an access arriving at @p now. */
+    Tick acquirePort(Tick now);
+
+    BankId id_;
+    CacheArray array_;
+    BankTimingParams timing_;
+    /** Busy-until time per port. */
+    std::vector<Tick> portBusyUntil_;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t queueCycles_ = 0;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_CACHE_CACHE_BANK_HH

@@ -1,0 +1,209 @@
+#include "src/cache/replacement.hh"
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU: return "LRU";
+      case ReplKind::SRRIP: return "SRRIP";
+      case ReplKind::BRRIP: return "BRRIP";
+      case ReplKind::DRRIP: return "DRRIP";
+    }
+    return "?";
+}
+
+std::unique_ptr<ReplPolicy>
+ReplPolicy::create(ReplKind kind, std::uint32_t sets, std::uint32_t ways,
+                   std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplKind::SRRIP:
+        return std::make_unique<RripPolicy>(sets, ways,
+                                            RripPolicy::Insertion::SRRIP,
+                                            seed);
+      case ReplKind::BRRIP:
+        return std::make_unique<RripPolicy>(sets, ways,
+                                            RripPolicy::Insertion::BRRIP,
+                                            seed);
+      case ReplKind::DRRIP:
+        return std::make_unique<DrripPolicy>(sets, ways, 32, seed);
+    }
+    panic("unknown replacement kind");
+}
+
+// ---------------------------------------------------------------- LRU
+
+LruPolicy::LruPolicy(std::uint32_t sets, std::uint32_t ways)
+    : ways_(ways),
+      lastUse_(static_cast<std::size_t>(sets) * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint32_t set, std::uint32_t way)
+{
+    lastUse_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+void
+LruPolicy::onHit(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+void
+LruPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    touch(set, way);
+}
+
+void
+LruPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
+{
+    lastUse_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+std::uint32_t
+LruPolicy::victimWay(std::uint32_t set, const WayMask &mask)
+{
+    std::uint32_t victim = 0;
+    std::uint64_t best = kTickMax;
+    bool found = false;
+    for (std::uint32_t w = 0; w < ways_; w++) {
+        if (!mask.contains(w)) continue;
+        std::uint64_t t = lastUse_[static_cast<std::size_t>(set) * ways_ + w];
+        if (t < best) {
+            best = t;
+            victim = w;
+            found = true;
+        }
+    }
+    if (!found) panic("LruPolicy::victimWay: empty way mask");
+    return victim;
+}
+
+// --------------------------------------------------------------- RRIP
+
+RripPolicy::RripPolicy(std::uint32_t sets, std::uint32_t ways, Insertion ins,
+                       std::uint64_t seed)
+    : ways_(ways),
+      insertion_(ins),
+      lfsr_(seed | 1),
+      rrpv_(static_cast<std::size_t>(sets) * ways, kMaxRrpv)
+{
+}
+
+bool
+RripPolicy::brripLongInsert()
+{
+    // 16-bit Galois LFSR; ~1/32 of fills get the "long" insertion,
+    // as in Jaleel et al.'s DRRIP.
+    lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1ull) & 0xB400ull);
+    return (lfsr_ & 0x1F) == 0;
+}
+
+RripPolicy::Insertion
+RripPolicy::insertionFor(std::uint32_t)
+{
+    return insertion_;
+}
+
+void
+RripPolicy::onHit(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+void
+RripPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    std::uint8_t v;
+    if (insertionFor(set) == Insertion::SRRIP) {
+        v = kMaxRrpv - 1;
+    } else {
+        v = brripLongInsert() ? kMaxRrpv - 1 : kMaxRrpv;
+    }
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] = v;
+}
+
+void
+RripPolicy::onInvalidate(std::uint32_t set, std::uint32_t way)
+{
+    rrpv_[static_cast<std::size_t>(set) * ways_ + way] = kMaxRrpv;
+}
+
+std::uint32_t
+RripPolicy::victimWay(std::uint32_t set, const WayMask &mask)
+{
+    if (mask.empty()) panic("RripPolicy::victimWay: empty way mask");
+    std::size_t base = static_cast<std::size_t>(set) * ways_;
+    for (;;) {
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            if (mask.contains(w) && rrpv_[base + w] == kMaxRrpv)
+                return w;
+        }
+        // Age only the allowed ways: partitions must not disturb each
+        // other's replacement state through aging.
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            if (mask.contains(w) && rrpv_[base + w] < kMaxRrpv)
+                rrpv_[base + w]++;
+        }
+    }
+}
+
+// -------------------------------------------------------------- DRRIP
+
+DrripPolicy::DrripPolicy(std::uint32_t sets, std::uint32_t ways,
+                         std::uint32_t leaderSetsPerPolicy,
+                         std::uint64_t seed)
+    : RripPolicy(sets, ways, Insertion::SRRIP, seed),
+      sets_(sets)
+{
+    // Leader sets are spread through the index space with a fixed
+    // stride: set k*stride leads SRRIP, set k*stride + stride/2 leads
+    // BRRIP. With few sets every set may lead.
+    std::uint32_t leaders = std::max(1u, leaderSetsPerPolicy);
+    leaderStride_ = std::max(2u, sets / leaders);
+}
+
+bool
+DrripPolicy::isSrripLeader(std::uint32_t set) const
+{
+    return set % leaderStride_ == 0;
+}
+
+bool
+DrripPolicy::isBrripLeader(std::uint32_t set) const
+{
+    return set % leaderStride_ == leaderStride_ / 2;
+}
+
+RripPolicy::Insertion
+DrripPolicy::insertionFor(std::uint32_t set)
+{
+    if (isSrripLeader(set)) return Insertion::SRRIP;
+    if (isBrripLeader(set)) return Insertion::BRRIP;
+    return psel_ >= 0 ? Insertion::SRRIP : Insertion::BRRIP;
+}
+
+void
+DrripPolicy::onFill(std::uint32_t set, std::uint32_t way)
+{
+    // A fill is (one-to-one) a miss; misses in leader sets vote
+    // against their policy. The single PSEL is shared bank-wide,
+    // across partitions: the Fig. 12 leakage channel.
+    if (isSrripLeader(set)) {
+        if (psel_ > kPselMin) psel_--;
+    } else if (isBrripLeader(set)) {
+        if (psel_ < kPselMax) psel_++;
+    }
+    RripPolicy::onFill(set, way);
+}
+
+} // namespace jumanji

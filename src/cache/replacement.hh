@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Replacement policies for set-associative cache arrays.
+ *
+ * LRU, SRRIP, BRRIP, and DRRIP (SRRIP/BRRIP chosen dynamically via
+ * set-dueling) are provided. DRRIP's set-dueling PSEL counter is
+ * shared per bank across all partitions, which is exactly the
+ * performance-leakage channel the paper demonstrates in Fig. 12:
+ * co-running applications steer the duel and thereby change the
+ * policy a partitioned victim experiences.
+ */
+
+#ifndef JUMANJI_CACHE_REPLACEMENT_HH
+#define JUMANJI_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cache/way_mask.hh"
+#include "src/sim/types.hh"
+
+namespace jumanji {
+
+/** Replacement policy selector. */
+enum class ReplKind
+{
+    LRU,
+    SRRIP,
+    BRRIP,
+    DRRIP,
+};
+
+/** Returns a printable policy name. */
+const char *replKindName(ReplKind kind);
+
+/**
+ * Abstract replacement policy over one cache array.
+ *
+ * The policy owns per-line metadata indexed by (set * ways + way).
+ * The array calls onHit/onFill on every access and victimWay to pick
+ * a victim among the ways allowed by the partition's mask.
+ */
+class ReplPolicy
+{
+  public:
+    virtual ~ReplPolicy() = default;
+
+    /** A line in (set, way) was hit. */
+    virtual void onHit(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A new line was filled into (set, way). */
+    virtual void onFill(std::uint32_t set, std::uint32_t way) = 0;
+
+    /** A line in (set, way) was invalidated. */
+    virtual void onInvalidate(std::uint32_t set, std::uint32_t way) = 0;
+
+    /**
+     * Picks the victim way in @p set among ways allowed by @p mask.
+     * Invalid ways are preferred by the caller before this runs, so
+     * the policy may assume all allowed ways hold valid lines.
+     *
+     * @pre !mask.empty()
+     */
+    virtual std::uint32_t victimWay(std::uint32_t set,
+                                    const WayMask &mask) = 0;
+
+    /** Factory. @p seed feeds any stochastic policy (BRRIP). */
+    static std::unique_ptr<ReplPolicy> create(ReplKind kind,
+                                              std::uint32_t sets,
+                                              std::uint32_t ways,
+                                              std::uint64_t seed);
+};
+
+/** True LRU via a global access counter per line. */
+class LruPolicy : public ReplPolicy
+{
+  public:
+    LruPolicy(std::uint32_t sets, std::uint32_t ways);
+
+    void onHit(std::uint32_t set, std::uint32_t way) override;
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victimWay(std::uint32_t set, const WayMask &mask) override;
+
+  private:
+    void touch(std::uint32_t set, std::uint32_t way);
+
+    std::uint32_t ways_;
+    std::uint64_t clock_ = 0;
+    std::vector<std::uint64_t> lastUse_;
+};
+
+/**
+ * RRIP family. With 2-bit RRPVs: hit promotes to 0; SRRIP inserts at
+ * RRPV=2 ("long"); BRRIP inserts at 3 ("distant") except with
+ * probability 1/32 at 2. The victim is the first allowed way at
+ * RRPV=3, aging allowed ways until one appears.
+ */
+class RripPolicy : public ReplPolicy
+{
+  public:
+    /** Insertion behaviour for a fill. */
+    enum class Insertion
+    {
+        SRRIP,
+        BRRIP,
+    };
+
+    RripPolicy(std::uint32_t sets, std::uint32_t ways, Insertion ins,
+               std::uint64_t seed);
+
+    void onHit(std::uint32_t set, std::uint32_t way) override;
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+    void onInvalidate(std::uint32_t set, std::uint32_t way) override;
+    std::uint32_t victimWay(std::uint32_t set, const WayMask &mask) override;
+
+  protected:
+    /** Insertion policy used for a fill in @p set; DRRIP overrides. */
+    virtual Insertion insertionFor(std::uint32_t set);
+
+    static constexpr std::uint8_t kMaxRrpv = 3;
+
+    std::uint32_t ways_;
+    Insertion insertion_;
+    std::uint64_t lfsr_;
+    std::vector<std::uint8_t> rrpv_;
+
+  private:
+    bool brripLongInsert();
+};
+
+/**
+ * DRRIP: set-dueling between SRRIP and BRRIP.
+ *
+ * A fixed pseudo-random subset of sets lead for SRRIP, another for
+ * BRRIP; misses (fills) in leader sets move a single shared PSEL
+ * counter, and follower sets use whichever leader is winning. The
+ * PSEL counter is shared by every partition in the bank.
+ */
+class DrripPolicy : public RripPolicy
+{
+  public:
+    DrripPolicy(std::uint32_t sets, std::uint32_t ways,
+                std::uint32_t leaderSetsPerPolicy, std::uint64_t seed);
+
+    void onFill(std::uint32_t set, std::uint32_t way) override;
+
+    /** Current PSEL value (test/inspection hook). */
+    std::int32_t psel() const { return psel_; }
+
+    /** True if @p set is an SRRIP (resp. BRRIP) leader. */
+    bool isSrripLeader(std::uint32_t set) const;
+    bool isBrripLeader(std::uint32_t set) const;
+
+  protected:
+    Insertion insertionFor(std::uint32_t set) override;
+
+  private:
+    static constexpr std::int32_t kPselMax = 511;
+    static constexpr std::int32_t kPselMin = -512;
+
+    std::uint32_t sets_;
+    std::uint32_t leaderStride_;
+    std::int32_t psel_ = 0;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_CACHE_REPLACEMENT_HH

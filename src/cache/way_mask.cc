@@ -1,0 +1,15 @@
+#include "src/cache/way_mask.hh"
+
+namespace jumanji {
+
+std::string
+WayMask::toString(std::uint32_t ways) const
+{
+    std::string s;
+    s.reserve(ways);
+    for (std::uint32_t w = 0; w < ways; w++)
+        s.push_back(contains(w) ? '1' : '0');
+    return s;
+}
+
+} // namespace jumanji

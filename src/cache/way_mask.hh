@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Way masks for Intel CAT-style way-partitioning.
+ *
+ * A partition's mask selects the ways it may fill into. Lookups hit in
+ * any way (as with CAT); only fills/victims are restricted. Banks are
+ * at most 64-way, so a mask fits in one word.
+ */
+
+#ifndef JUMANJI_CACHE_WAY_MASK_HH
+#define JUMANJI_CACHE_WAY_MASK_HH
+
+#include <cstdint>
+#include <string>
+
+namespace jumanji {
+
+/** A set of ways within one cache bank. */
+class WayMask
+{
+  public:
+    WayMask() = default;
+    explicit WayMask(std::uint64_t bits) : bits_(bits) {}
+
+    /** Mask covering ways [first, first+count). */
+    static WayMask
+    range(std::uint32_t first, std::uint32_t count)
+    {
+        if (count == 0) return WayMask(0);
+        if (count >= 64) return WayMask(~0ull << first);
+        return WayMask(((1ull << count) - 1) << first);
+    }
+
+    /** Mask covering all @p ways ways. */
+    static WayMask
+    all(std::uint32_t ways)
+    {
+        return range(0, ways);
+    }
+
+    bool contains(std::uint32_t way) const { return (bits_ >> way) & 1; }
+    bool empty() const { return bits_ == 0; }
+    std::uint32_t count() const { return __builtin_popcountll(bits_); }
+    std::uint64_t bits() const { return bits_; }
+
+    WayMask
+    operator|(const WayMask &o) const
+    {
+        return WayMask(bits_ | o.bits_);
+    }
+
+    WayMask
+    operator&(const WayMask &o) const
+    {
+        return WayMask(bits_ & o.bits_);
+    }
+
+    bool operator==(const WayMask &o) const { return bits_ == o.bits_; }
+
+    /** Human-readable bit string (way 0 leftmost), for debugging. */
+    std::string toString(std::uint32_t ways) const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_CACHE_WAY_MASK_HH

@@ -1,0 +1,73 @@
+#include "src/core/jigsaw_placer.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+void
+jigsawPlacer(const std::vector<PlacementRequest> &requests,
+             std::vector<std::uint64_t> &bankBalance,
+             const std::vector<BankId> &allowedBanks,
+             const MeshTopology &mesh, AllocationMatrix &matrix)
+{
+    auto banks = static_cast<std::uint32_t>(bankBalance.size());
+
+    std::vector<bool> allowed(banks, allowedBanks.empty());
+    for (BankId b : allowedBanks) {
+        if (b >= 0 && static_cast<std::uint32_t>(b) < banks)
+            allowed[static_cast<std::size_t>(b)] = true;
+    }
+
+    // Hot VCs pick first; ties broken by VC id for determinism.
+    std::vector<PlacementRequest> order = requests;
+    std::stable_sort(order.begin(), order.end(),
+                     [](const PlacementRequest &a,
+                        const PlacementRequest &b) {
+                         if (a.intensity != b.intensity)
+                             return a.intensity > b.intensity;
+                         return a.vc < b.vc;
+                     });
+
+    // Round-based claiming: each round, every VC takes up to one
+    // bank's worth from its nearest non-empty allowed bank. This
+    // spreads proximity fairly instead of letting the first VC drain
+    // all close banks (Jigsaw's placement has the same flavor).
+    std::vector<std::uint64_t> remaining(order.size());
+    std::vector<std::vector<std::uint32_t>> pref(order.size());
+    for (std::size_t i = 0; i < order.size(); i++) {
+        remaining[i] = order[i].lines;
+        pref[i] = mesh.tilesByDistance(order[i].coreTile);
+    }
+
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t i = 0; i < order.size(); i++) {
+            if (remaining[i] == 0) continue;
+            for (std::uint32_t tile : pref[i]) {
+                if (tile >= banks || !allowed[tile]) continue;
+                std::uint64_t &balance = bankBalance[tile];
+                if (balance == 0) continue;
+                // Claim at most one bank per round per VC.
+                std::uint64_t grab = std::min(balance, remaining[i]);
+                matrix.add(static_cast<BankId>(tile), order[i].vc, grab);
+                balance -= grab;
+                remaining[i] -= grab;
+                progress = true;
+                break;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < order.size(); i++) {
+        if (remaining[i] > 0) {
+            warn("jigsawPlacer: insufficient capacity for VC " +
+                 std::to_string(order[i].vc) + " (short " +
+                 std::to_string(remaining[i]) + " lines)");
+        }
+    }
+}
+
+} // namespace jumanji

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Jigsaw's data-placement stage [6, 8]: given per-VC capacity
+ * allocations, place each VC's capacity into LLC banks close to the
+ * accessing core to minimize on-chip data movement.
+ *
+ * VCs claim space in distance order from their core, interleaved by
+ * access intensity so that hot VCs get first pick of nearby banks —
+ * a faithful, deterministic rendering of Jigsaw's greedy placement.
+ */
+
+#ifndef JUMANJI_CORE_JIGSAW_PLACER_HH
+#define JUMANJI_CORE_JIGSAW_PLACER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/placement_types.hh"
+#include "src/noc/mesh.hh"
+
+namespace jumanji {
+
+/** One VC's capacity to be placed. */
+struct PlacementRequest
+{
+    VcId vc = kInvalidVc;
+    std::uint32_t coreTile = 0;
+    std::uint64_t lines = 0;
+    /** LLC accesses per cycle; hotter VCs pick banks first. */
+    double intensity = 0.0;
+};
+
+/**
+ * Places capacities into banks.
+ *
+ * @param requests VCs with their capacity grants.
+ * @param bankBalance In/out free lines per bank; only banks listed
+ *        in @p allowedBanks are touched (empty = all banks allowed).
+ * @param allowedBanks Restricts placement (a VM's banks in Jumanji).
+ * @param mesh Topology for distance ordering.
+ * @param[out] matrix Receives allocations.
+ */
+void jigsawPlacer(const std::vector<PlacementRequest> &requests,
+                  std::vector<std::uint64_t> &bankBalance,
+                  const std::vector<BankId> &allowedBanks,
+                  const MeshTopology &mesh, AllocationMatrix &matrix);
+
+} // namespace jumanji
+
+#endif // JUMANJI_CORE_JIGSAW_PLACER_HH

@@ -1,0 +1,57 @@
+#include "src/core/lat_crit_placer.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+void
+latCritPlacer(const std::vector<VcInfo> &latCritVcs,
+              std::vector<std::uint64_t> &bankBalance,
+              const MeshTopology &mesh, const PlacementGeometry &geo,
+              bool isolateVms, AllocationMatrix &matrix)
+{
+    if (bankBalance.size() != geo.banks)
+        panic("latCritPlacer: balance size != bank count");
+
+    // Bank -> VM owning latency-critical space there (for isolation).
+    std::map<BankId, VmId> lcOwner;
+
+    for (const auto &vc : latCritVcs) {
+        if (!vc.latencyCritical)
+            panic("latCritPlacer: non-LC VC passed in");
+
+        std::uint64_t remaining = vc.targetLines;
+        auto preferred = mesh.tilesByDistance(vc.coreTile);
+
+        for (std::uint32_t tile : preferred) {
+            if (remaining == 0) break;
+            if (tile >= geo.banks) continue;
+            auto bank = static_cast<BankId>(tile);
+
+            if (isolateVms) {
+                auto it = lcOwner.find(bank);
+                if (it != lcOwner.end() && it->second != vc.vm) continue;
+            }
+
+            std::uint64_t &balance =
+                bankBalance[static_cast<std::size_t>(bank)];
+            std::uint64_t grab = std::min(balance, remaining);
+            if (grab == 0) continue;
+
+            matrix.add(bank, vc.vc, grab);
+            balance -= grab;
+            remaining -= grab;
+            lcOwner.emplace(bank, vc.vm);
+        }
+
+        if (remaining > 0) {
+            warn("latCritPlacer: could not fully place " + vc.name +
+                 " (short " + std::to_string(remaining) + " lines)");
+        }
+    }
+}
+
+} // namespace jumanji

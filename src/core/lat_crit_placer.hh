@@ -1,0 +1,42 @@
+/**
+ * @file
+ * LatCritPlacer (paper Listing 2): greedily reserves each
+ * latency-critical application's feedback-controlled allocation in
+ * the LLC banks closest to its core, so batch applications cannot
+ * claim that space.
+ */
+
+#ifndef JUMANJI_CORE_LAT_CRIT_PLACER_HH
+#define JUMANJI_CORE_LAT_CRIT_PLACER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/placement_types.hh"
+#include "src/noc/mesh.hh"
+
+namespace jumanji {
+
+/**
+ * Places latency-critical allocations.
+ *
+ * @param latCritVcs VCs with latencyCritical == true, each carrying
+ *        its feedback-controller targetLines.
+ * @param bankBalance In/out: free lines per bank; claimed capacity
+ *        is subtracted.
+ * @param mesh NoC topology for bank distance ordering.
+ * @param geo LLC geometry.
+ * @param isolateVms When true (Jumanji), an LC app skips banks
+ *        already holding another VM's latency-critical data, so bank
+ *        isolation is never violated by this stage.
+ * @param[out] matrix Receives the allocations.
+ */
+void latCritPlacer(const std::vector<VcInfo> &latCritVcs,
+                   std::vector<std::uint64_t> &bankBalance,
+                   const MeshTopology &mesh,
+                   const PlacementGeometry &geo, bool isolateVms,
+                   AllocationMatrix &matrix);
+
+} // namespace jumanji
+
+#endif // JUMANJI_CORE_LAT_CRIT_PLACER_HH

@@ -1,0 +1,183 @@
+#include "src/core/lookahead.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+namespace {
+
+/** Misses a claim suffers at an allocation of @p lines. */
+double
+missesAt(const LookaheadClaim &claim, std::uint64_t lines,
+         const PlacementGeometry &geo)
+{
+    double buckets = static_cast<double>(lines) /
+                     static_cast<double>(geo.linesPerBucket);
+    return claim.curve.interpolate(buckets);
+}
+
+} // namespace
+
+LookaheadResult
+lookahead(const std::vector<LookaheadClaim> &claims,
+          std::uint64_t budgetLines, const PlacementGeometry &geo,
+          std::uint64_t stepLines)
+{
+    LookaheadResult result;
+    result.lines.resize(claims.size(), 0);
+    if (claims.empty()) return result;
+
+    // Start every claim at its floor.
+    std::uint64_t used = 0;
+    for (std::size_t i = 0; i < claims.size(); i++) {
+        result.lines[i] = claims[i].floorLines;
+        used += claims[i].floorLines;
+    }
+    if (used > budgetLines) {
+        // Floors exceed the budget (e.g., panic boosts under
+        // pressure): grant the floors and nothing more.
+        return result;
+    }
+
+    // Greedy marginal utility, one quantum at a time.
+    std::uint64_t step = stepLines > 0
+                             ? stepLines
+                             : std::max<std::uint64_t>(
+                                   1, geo.linesPerWay());
+
+    struct Head
+    {
+        double utility;
+        std::uint64_t allocated;
+        std::size_t idx;
+
+        // Max-heap by utility; ties go to the smallest current
+        // allocation (then lowest index), so flat/empty curves —
+        // e.g. the cold first epoch — spread capacity evenly
+        // instead of piling it onto one claimant.
+        bool
+        operator<(const Head &o) const
+        {
+            if (utility != o.utility) return utility < o.utility;
+            if (allocated != o.allocated) return allocated > o.allocated;
+            return idx > o.idx;
+        }
+    };
+
+    auto utilityOf = [&](std::size_t i) {
+        std::uint64_t cur = result.lines[i];
+        return missesAt(claims[i], cur, geo) -
+               missesAt(claims[i], cur + step, geo);
+    };
+
+    std::priority_queue<Head> heap;
+    for (std::size_t i = 0; i < claims.size(); i++)
+        heap.push(Head{utilityOf(i), result.lines[i], i});
+
+    while (used + step <= budgetLines && !heap.empty()) {
+        Head h = heap.top();
+        heap.pop();
+        // Utilities go stale as allocations grow; re-validate lazily.
+        double fresh = utilityOf(h.idx);
+        if (fresh + 1e-12 < h.utility && !heap.empty() &&
+            fresh < heap.top().utility) {
+            heap.push(Head{fresh, result.lines[h.idx], h.idx});
+            continue;
+        }
+        if (result.lines[h.idx] + step > geo.totalLines()) continue;
+        result.lines[h.idx] += step;
+        used += step;
+        heap.push(Head{utilityOf(h.idx), result.lines[h.idx], h.idx});
+    }
+
+    // Distribute any residual (sub-step) lines to the claim with the
+    // highest remaining utility so the full budget is assigned.
+    if (used < budgetLines && !heap.empty()) {
+        std::size_t best = heap.top().idx;
+        result.lines[best] += budgetLines - used;
+    }
+    return result;
+}
+
+LookaheadResult
+jumanjiLookahead(const std::vector<LookaheadClaim> &claims,
+                 std::uint64_t budgetLines, const PlacementGeometry &geo)
+{
+    if (budgetLines % geo.linesPerBank != 0)
+        panic("jumanjiLookahead: budget must be a whole number of banks");
+
+    // Ideal (unrounded) totals from plain lookahead.
+    LookaheadResult ideal = lookahead(claims, budgetLines, geo);
+
+    std::uint64_t bankLines = geo.linesPerBank;
+    auto totalBanks =
+        static_cast<std::uint32_t>(budgetLines / bankLines);
+
+    // Round each VM's total to banks by largest remainder, with a
+    // floor of ceil(floorLines / bankLines) banks so latency-critical
+    // reservations always fit inside the VM's banks.
+    struct Item
+    {
+        std::size_t idx;
+        std::uint32_t banks;
+        std::uint32_t minBanks;
+        double remainder;
+    };
+    std::vector<Item> items;
+    std::uint32_t used = 0;
+    for (std::size_t i = 0; i < claims.size(); i++) {
+        double idealBanks = static_cast<double>(ideal.lines[i]) /
+                            static_cast<double>(bankLines);
+        auto whole = static_cast<std::uint32_t>(idealBanks);
+        // Every VM owns at least one bank (its apps need somewhere
+        // to cache), and enough banks to cover its LC floor.
+        auto minBanks = std::max<std::uint32_t>(
+            1, static_cast<std::uint32_t>(
+                   (claims[i].floorLines + bankLines - 1) / bankLines));
+        whole = std::max(whole, minBanks);
+        items.push_back(Item{i, whole, minBanks,
+                             idealBanks - std::floor(idealBanks)});
+        used += whole;
+    }
+
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         return a.remainder > b.remainder;
+                     });
+    std::size_t cursor = 0;
+    while (used < totalBanks && !items.empty()) {
+        items[cursor % items.size()].banks++;
+        used++;
+        cursor++;
+    }
+    // Trim overshoot (from minBanks floors) off the VMs with the
+    // smallest remainders, respecting each VM's floor.
+    cursor = items.size();
+    std::size_t stuck = 0;
+    while (used > totalBanks && stuck < items.size()) {
+        Item &item = items[--cursor % items.size()];
+        if (cursor == 0) cursor = items.size();
+        if (item.banks > item.minBanks) {
+            item.banks--;
+            used--;
+            stuck = 0;
+        } else {
+            stuck++;
+        }
+    }
+    if (used > totalBanks)
+        warn("jumanjiLookahead: VM floors exceed the bank budget");
+
+    LookaheadResult result;
+    result.lines.resize(claims.size(), 0);
+    for (const auto &item : items)
+        result.lines[item.idx] =
+            static_cast<std::uint64_t>(item.banks) * bankLines;
+    return result;
+}
+
+} // namespace jumanji

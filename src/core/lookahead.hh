@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lookahead capacity allocation (UCP [69]) and Jumanji's
+ * bank-granular variant (Sec. VI-D).
+ *
+ * Lookahead divides a capacity budget among miss curves by repeatedly
+ * granting the allocation step with the highest marginal utility
+ * (misses saved per line). On convex curves this greedy is optimal;
+ * curves are convex-hulled upstream.
+ *
+ * JumanjiLookahead additionally rounds each VM's total allocation
+ * (batch + latency-critical) to a whole number of banks so that VMs
+ * never share a bank.
+ */
+
+#ifndef JUMANJI_CORE_LOOKAHEAD_HH
+#define JUMANJI_CORE_LOOKAHEAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/placement_types.hh"
+#include "src/dnuca/miss_curve.hh"
+
+namespace jumanji {
+
+/** One claimant in a lookahead allocation. */
+struct LookaheadClaim
+{
+    /** Opaque id returned with the result (VC id or VM id). */
+    std::int32_t id = 0;
+    /** Miss curve (x-axis: UMON buckets of linesPerBucket lines). */
+    MissCurve curve;
+    /** Lines already granted (counted against the budget). */
+    std::uint64_t floorLines = 0;
+};
+
+/** Allocation result, same order as the input claims. */
+struct LookaheadResult
+{
+    std::vector<std::uint64_t> lines;
+};
+
+/**
+ * Classic UCP lookahead.
+ *
+ * @param claims Claimants with curves and pre-granted floors.
+ * @param budgetLines Total lines to distribute (includes floors).
+ * @param geo Geometry (bucket size, step granularity).
+ * @param stepLines Allocation quantum; 0 uses one way's worth.
+ *        Coarser quanta trade a little allocation precision for
+ *        epoch-to-epoch stability (fewer coherence-walk moves when
+ *        miss curves wobble).
+ */
+LookaheadResult lookahead(const std::vector<LookaheadClaim> &claims,
+                          std::uint64_t budgetLines,
+                          const PlacementGeometry &geo,
+                          std::uint64_t stepLines = 0);
+
+/**
+ * Jumanji's variant: per-VM totals are rounded to whole banks.
+ *
+ * @param claims One claim per VM (combined batch curve); floorLines
+ *        holds the VM's latency-critical allocation.
+ * @param budgetLines Total lines to distribute (includes floors).
+ * @return Per-VM *total* lines (floor + batch), each a multiple of
+ *         geo.linesPerBank, summing to budgetLines (which must be a
+ *         bank multiple).
+ */
+LookaheadResult jumanjiLookahead(const std::vector<LookaheadClaim> &claims,
+                                 std::uint64_t budgetLines,
+                                 const PlacementGeometry &geo);
+
+} // namespace jumanji
+
+#endif // JUMANJI_CORE_LOOKAHEAD_HH

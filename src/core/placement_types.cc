@@ -1,0 +1,262 @@
+#include "src/core/placement_types.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+void
+AllocationMatrix::add(BankId bank, VcId vc, std::uint64_t lines)
+{
+    if (lines == 0) return;
+    if (bank < 0 || static_cast<std::size_t>(bank) >= perBank_.size())
+        panic("AllocationMatrix::add: bank out of range");
+    perBank_[static_cast<std::size_t>(bank)][vc] += lines;
+}
+
+std::uint64_t
+AllocationMatrix::remove(BankId bank, VcId vc, std::uint64_t lines)
+{
+    if (bank < 0 || static_cast<std::size_t>(bank) >= perBank_.size())
+        panic("AllocationMatrix::remove: bank out of range");
+    auto &m = perBank_[static_cast<std::size_t>(bank)];
+    auto it = m.find(vc);
+    if (it == m.end()) return 0;
+    std::uint64_t removed = std::min(it->second, lines);
+    it->second -= removed;
+    if (it->second == 0) m.erase(it);
+    return removed;
+}
+
+std::uint64_t
+AllocationMatrix::get(BankId bank, VcId vc) const
+{
+    const auto &m = perBank_[static_cast<std::size_t>(bank)];
+    auto it = m.find(vc);
+    return it == m.end() ? 0 : it->second;
+}
+
+std::uint64_t
+AllocationMatrix::bankTotal(BankId bank) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[vc, lines] : perBank_[static_cast<std::size_t>(bank)])
+        total += lines;
+    return total;
+}
+
+std::uint64_t
+AllocationMatrix::vcTotal(VcId vc) const
+{
+    std::uint64_t total = 0;
+    for (const auto &bank : perBank_) {
+        auto it = bank.find(vc);
+        if (it != bank.end()) total += it->second;
+    }
+    return total;
+}
+
+std::vector<VcId>
+AllocationMatrix::vcsInBank(BankId bank) const
+{
+    std::vector<VcId> vcs;
+    for (const auto &[vc, lines] : perBank_[static_cast<std::size_t>(bank)])
+        if (lines > 0) vcs.push_back(vc);
+    return vcs;
+}
+
+std::vector<BankId>
+AllocationMatrix::banksOfVc(VcId vc) const
+{
+    std::vector<BankId> banks;
+    for (std::size_t b = 0; b < perBank_.size(); b++) {
+        auto it = perBank_[b].find(vc);
+        if (it != perBank_[b].end() && it->second > 0)
+            banks.push_back(static_cast<BankId>(b));
+    }
+    return banks;
+}
+
+std::vector<VmId>
+AllocationMatrix::vmsInBank(BankId bank,
+                            const std::map<VcId, VmId> &vmOf) const
+{
+    std::vector<VmId> vms;
+    for (const auto &[vc, lines] : perBank_[static_cast<std::size_t>(bank)]) {
+        if (lines == 0) continue;
+        auto it = vmOf.find(vc);
+        VmId vm = it == vmOf.end() ? kInvalidVm : it->second;
+        if (std::find(vms.begin(), vms.end(), vm) == vms.end())
+            vms.push_back(vm);
+    }
+    std::sort(vms.begin(), vms.end());
+    return vms;
+}
+
+namespace {
+
+/**
+ * Apportions ways among VCs by their line allocations, CAT-style:
+ * a VC asking for k ways' worth of lines receives ~k ways, even when
+ * the bank is undersubscribed (leftover ways go unassigned, exactly
+ * as unprogrammed CAT masks would). Oversubscription falls back to
+ * proportional scaling. Every nonzero VC gets >= 1 way when possible.
+ */
+std::vector<std::pair<VcId, std::uint32_t>>
+apportionWays(const std::map<VcId, std::uint64_t> &linesPerVc,
+              std::uint32_t totalWays, std::uint64_t bankLines)
+{
+    struct Item
+    {
+        VcId vc;
+        std::uint32_t ways;
+        double remainder;
+    };
+
+    std::uint64_t totalLines = 0;
+    for (const auto &[vc, lines] : linesPerVc) totalLines += lines;
+    if (totalLines == 0) return {};
+
+    double linesPerWay = static_cast<double>(bankLines) /
+                         static_cast<double>(totalWays);
+    // Oversubscribed banks scale everyone down proportionally.
+    double scale = totalLines > bankLines
+                       ? static_cast<double>(bankLines) /
+                             static_cast<double>(totalLines)
+                       : 1.0;
+
+    std::vector<Item> items;
+    std::uint32_t used = 0;
+    double wanted = 0.0;
+    for (const auto &[vc, lines] : linesPerVc) {
+        if (lines == 0) continue;
+        double ideal = static_cast<double>(lines) * scale / linesPerWay;
+        auto whole = static_cast<std::uint32_t>(ideal);
+        items.push_back(Item{vc, whole, ideal - std::floor(ideal)});
+        used += whole;
+        wanted += ideal;
+    }
+    auto targetWays = std::min<std::uint32_t>(
+        totalWays, static_cast<std::uint32_t>(std::ceil(wanted - 1e-9)));
+
+    // Hand out leftovers by largest remainder, zero-way VCs first.
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item &a, const Item &b) {
+                         bool az = a.ways == 0, bz = b.ways == 0;
+                         if (az != bz) return az;
+                         return a.remainder > b.remainder;
+                     });
+    for (auto &item : items) {
+        if (used >= targetWays) break;
+        if (item.ways == 0 || item.remainder > 0.0) {
+            item.ways++;
+            used++;
+        }
+    }
+    // Guarantee every VC at least one way by stealing from the
+    // largest, as CAT cannot express a zero-way fillable partition.
+    for (auto &item : items) {
+        if (item.ways > 0) continue;
+        auto richest = std::max_element(
+            items.begin(), items.end(),
+            [](const Item &a, const Item &b) { return a.ways < b.ways; });
+        if (richest->ways > 1) {
+            richest->ways--;
+            item.ways++;
+        }
+    }
+
+    std::vector<std::pair<VcId, std::uint32_t>> result;
+    for (const auto &item : items) result.emplace_back(item.vc, item.ways);
+    // Deterministic mask layout: VC-id order.
+    std::sort(result.begin(), result.end());
+    return result;
+}
+
+} // namespace
+
+PlacementPlan
+materializePlan(const AllocationMatrix &matrix,
+                const PlacementGeometry &geo,
+                const std::vector<std::vector<VcId>> *sharedGroups)
+{
+    PlacementPlan plan;
+    plan.matrix = matrix;
+
+    // VC -> shared-group index, or -1 for private.
+    std::map<VcId, int> groupOf;
+    if (sharedGroups != nullptr) {
+        for (std::size_t g = 0; g < sharedGroups->size(); g++)
+            for (VcId vc : (*sharedGroups)[g])
+                groupOf[vc] = static_cast<int>(g);
+    }
+
+    // Way masks bank by bank.
+    std::map<VcId, std::vector<WayMask>> masks;
+    auto ensureMasks = [&](VcId vc) -> std::vector<WayMask> & {
+        auto it = masks.find(vc);
+        if (it == masks.end()) {
+            it = masks.emplace(vc, std::vector<WayMask>(
+                                       geo.banks, WayMask(0))).first;
+        }
+        return it->second;
+    };
+
+    // Group tokens occupy VC ids below any real VC.
+    constexpr VcId kGroupTokenBase = -1000;
+
+    for (std::uint32_t b = 0; b < geo.banks; b++) {
+        // Merge each shared group's lines under its token; private
+        // VCs stand alone.
+        std::map<VcId, std::uint64_t> forApportion;
+        std::map<int, std::vector<VcId>> groupMembersHere;
+        for (const auto &[vc, lines] : matrix.bank(static_cast<BankId>(b))) {
+            if (lines == 0) continue;
+            auto git = groupOf.find(vc);
+            if (git != groupOf.end()) {
+                VcId token = kGroupTokenBase - git->second;
+                forApportion[token] += lines;
+                groupMembersHere[git->second].push_back(vc);
+            } else {
+                forApportion[vc] += lines;
+            }
+        }
+
+        auto ways = apportionWays(forApportion, geo.waysPerBank,
+                                  geo.linesPerBank);
+
+        std::uint32_t cursor = 0;
+        for (const auto &[vc, count] : ways) {
+            WayMask mask = WayMask::range(cursor, count);
+            cursor += count;
+            if (vc <= kGroupTokenBase) {
+                int g = static_cast<int>(kGroupTokenBase - vc);
+                for (VcId svc : groupMembersHere[g])
+                    ensureMasks(svc)[b] = mask;
+            } else {
+                ensureMasks(vc)[b] = mask;
+            }
+        }
+    }
+
+    // Descriptors: slots proportional to per-bank lines.
+    std::map<VcId, std::vector<std::pair<BankId, double>>> shares;
+    for (std::uint32_t b = 0; b < geo.banks; b++) {
+        for (const auto &[vc, lines] : matrix.bank(static_cast<BankId>(b))) {
+            if (lines > 0)
+                shares[vc].emplace_back(static_cast<BankId>(b),
+                                        static_cast<double>(lines));
+        }
+    }
+    for (auto &[vc, share] : shares) {
+        PlacementDescriptor desc;
+        desc.fillProportional(share);
+        plan.descriptors[vc] = desc;
+    }
+    plan.wayMasks = std::move(masks);
+    return plan;
+}
+
+} // namespace jumanji

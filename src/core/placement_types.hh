@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared types for the placement layer: per-epoch policy inputs, the
+ * allocation matrix (lines per (bank, VC)), and conversion of an
+ * allocation matrix into installable placement descriptors and
+ * per-bank way masks.
+ */
+
+#ifndef JUMANJI_CORE_PLACEMENT_TYPES_HH
+#define JUMANJI_CORE_PLACEMENT_TYPES_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cache/way_mask.hh"
+#include "src/dnuca/miss_curve.hh"
+#include "src/dnuca/vtb.hh"
+#include "src/noc/mesh.hh"
+#include "src/sim/types.hh"
+
+namespace jumanji {
+
+/** Per-VC input to a placement policy, refreshed every epoch. */
+struct VcInfo
+{
+    VcId vc = kInvalidVc;
+    AppId app = kInvalidApp;
+    VmId vm = kInvalidVm;
+    /** Tile hosting the owning thread. */
+    std::uint32_t coreTile = 0;
+    bool latencyCritical = false;
+    /**
+     * Miss curve over the whole LLC at UMON-bucket granularity,
+     * already convex-hulled (the DRRIP approximation, Sec. IV-A).
+     */
+    MissCurve curve;
+    /** Feedback-controller target (lines); LC apps only. */
+    std::uint64_t targetLines = 0;
+    std::string name;
+};
+
+/** LLC geometry as the placement layer sees it. */
+struct PlacementGeometry
+{
+    std::uint32_t banks = 20;
+    std::uint32_t waysPerBank = 32;
+    std::uint64_t linesPerBank = 16384;
+    /** UMON-bucket size in lines (curve x-axis unit). */
+    std::uint64_t linesPerBucket = 5120;
+
+    std::uint64_t totalLines() const { return linesPerBank * banks; }
+    std::uint64_t
+    linesPerWay() const
+    {
+        return linesPerBank / waysPerBank;
+    }
+};
+
+/**
+ * Lines allocated to each VC in each bank:
+ * alloc[bank][vc] = lines. Sparse per bank.
+ */
+class AllocationMatrix
+{
+  public:
+    explicit AllocationMatrix(std::uint32_t banks) : perBank_(banks) {}
+
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(perBank_.size());
+    }
+
+    void add(BankId bank, VcId vc, std::uint64_t lines);
+
+    /** Removes up to @p lines; clamps at zero. @return removed. */
+    std::uint64_t remove(BankId bank, VcId vc, std::uint64_t lines);
+
+    std::uint64_t get(BankId bank, VcId vc) const;
+
+    /** Total lines allocated in @p bank. */
+    std::uint64_t bankTotal(BankId bank) const;
+
+    /** Total lines allocated to @p vc across banks. */
+    std::uint64_t vcTotal(VcId vc) const;
+
+    /** All VCs with allocation in @p bank, id-sorted. */
+    std::vector<VcId> vcsInBank(BankId bank) const;
+
+    /** All banks where @p vc has allocation, id-sorted. */
+    std::vector<BankId> banksOfVc(VcId vc) const;
+
+    /** Distinct VMs (via @p vmOf) with allocation in @p bank. */
+    std::vector<VmId>
+    vmsInBank(BankId bank,
+              const std::map<VcId, VmId> &vmOf) const;
+
+    const std::map<VcId, std::uint64_t> &
+    bank(BankId b) const
+    {
+        return perBank_[static_cast<std::size_t>(b)];
+    }
+
+  private:
+    std::vector<std::map<VcId, std::uint64_t>> perBank_;
+};
+
+/** Installable result of a reconfiguration. */
+struct PlacementPlan
+{
+    /** Descriptor per VC. */
+    std::map<VcId, PlacementDescriptor> descriptors;
+    /** Way masks per VC: masks[vc][bank]. */
+    std::map<VcId, std::vector<WayMask>> wayMasks;
+    /** The matrix the plan was derived from (reporting/tests). */
+    AllocationMatrix matrix{0};
+};
+
+/**
+ * Converts an allocation matrix into descriptors + way masks.
+ *
+ * Ways in each bank are handed out proportionally to VCs' line
+ * allocations (largest remainder, each nonzero VC >= 1 way), as
+ * contiguous CAT-style ranges in VC-id order. Descriptor slots are
+ * filled proportionally to the VC's per-bank lines.
+ *
+ * @param sharedGroups When non-null, each inner vector is a set of
+ *        VCs sharing one unified partition per bank (Adaptive's
+ *        unpartitioned batch pool is one group; VM-Part makes one
+ *        group per VM). Group members receive identical way masks
+ *        covering the group's combined allocation.
+ */
+PlacementPlan materializePlan(const AllocationMatrix &matrix,
+                              const PlacementGeometry &geo,
+                              const std::vector<std::vector<VcId>>
+                                  *sharedGroups = nullptr);
+
+} // namespace jumanji
+
+#endif // JUMANJI_CORE_PLACEMENT_TYPES_HH

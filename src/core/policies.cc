@@ -1,0 +1,695 @@
+#include "src/core/policies.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/jigsaw_placer.hh"
+#include "src/core/lat_crit_placer.hh"
+#include "src/core/lookahead.hh"
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+const char *
+llcDesignName(LlcDesign design)
+{
+    switch (design) {
+      case LlcDesign::Static: return "Static";
+      case LlcDesign::Adaptive: return "Adaptive";
+      case LlcDesign::VMPart: return "VM-Part";
+      case LlcDesign::Jigsaw: return "Jigsaw";
+      case LlcDesign::Jumanji: return "Jumanji";
+      case LlcDesign::JumanjiInsecure: return "Jumanji-Insecure";
+      case LlcDesign::JumanjiIdealBatch: return "Jumanji-IdealBatch";
+    }
+    return "?";
+}
+
+std::unique_ptr<LlcPolicy>
+LlcPolicy::create(LlcDesign design)
+{
+    switch (design) {
+      case LlcDesign::Static:
+        return std::make_unique<StaticPolicy>();
+      case LlcDesign::Adaptive:
+        return std::make_unique<AdaptivePolicy>();
+      case LlcDesign::VMPart:
+        return std::make_unique<VmPartPolicy>();
+      case LlcDesign::Jigsaw:
+        return std::make_unique<JigsawPolicy>();
+      case LlcDesign::Jumanji:
+        return std::make_unique<JumanjiPolicy>(true);
+      case LlcDesign::JumanjiInsecure:
+        return std::make_unique<JumanjiPolicy>(false);
+      case LlcDesign::JumanjiIdealBatch:
+        return std::make_unique<JumanjiIdealBatchPolicy>();
+    }
+    panic("unknown LLC design");
+}
+
+namespace {
+
+std::vector<VcInfo>
+latCritOf(const EpochInputs &in)
+{
+    std::vector<VcInfo> lc;
+    for (const auto &vc : in.vcs)
+        if (vc.latencyCritical) lc.push_back(vc);
+    return lc;
+}
+
+std::vector<VcInfo>
+batchOf(const EpochInputs &in)
+{
+    std::vector<VcInfo> batch;
+    for (const auto &vc : in.vcs)
+        if (!vc.latencyCritical) batch.push_back(vc);
+    return batch;
+}
+
+std::vector<VmId>
+vmsOf(const EpochInputs &in)
+{
+    std::vector<VmId> vms;
+    for (const auto &vc : in.vcs)
+        if (std::find(vms.begin(), vms.end(), vc.vm) == vms.end())
+            vms.push_back(vc.vm);
+    std::sort(vms.begin(), vms.end());
+    return vms;
+}
+
+/** Access intensity proxy: misses avoided by full allocation. */
+double
+intensityOf(const VcInfo &vc)
+{
+    return vc.curve.at(0);
+}
+
+/**
+ * Guarantees every VC has a descriptor and a mask vector, even VCs
+ * that received no capacity this epoch (e.g. when latency-critical
+ * reservations consume a whole bank's ways): they get a striped
+ * descriptor over all banks and empty (uncached) fill masks.
+ */
+PlacementPlan
+finalizePlan(PlacementPlan plan, const EpochInputs &in)
+{
+    std::vector<BankId> allBanks;
+    for (std::uint32_t b = 0; b < in.geo.banks; b++)
+        allBanks.push_back(static_cast<BankId>(b));
+
+    for (const auto &vc : in.vcs) {
+        if (!plan.descriptors.count(vc.vc)) {
+            // Stripe over the VC's *own VM's* banks so the fallback
+            // cannot route accesses into other VMs' banks (that
+            // would reopen the port channel Jumanji closes). Only if
+            // the VM owns nothing at all do we fall back to the
+            // whole LLC.
+            std::vector<BankId> vmBanks;
+            for (const auto &other : in.vcs) {
+                if (other.vm != vc.vm) continue;
+                for (BankId b : plan.matrix.banksOfVc(other.vc))
+                    if (std::find(vmBanks.begin(), vmBanks.end(), b) ==
+                        vmBanks.end())
+                        vmBanks.push_back(b);
+            }
+            std::sort(vmBanks.begin(), vmBanks.end());
+            PlacementDescriptor desc;
+            desc.fillStriped(vmBanks.empty() ? allBanks : vmBanks);
+            plan.descriptors[vc.vc] = desc;
+        }
+        if (!plan.wayMasks.count(vc.vc)) {
+            plan.wayMasks[vc.vc] =
+                std::vector<WayMask>(in.geo.banks, WayMask(0));
+        }
+    }
+    return plan;
+}
+
+/** Stripes @p lines for @p vc uniformly across all banks. */
+void
+stripeAcrossBanks(VcId vc, std::uint64_t lines,
+                  std::vector<std::uint64_t> &bankBalance,
+                  AllocationMatrix &matrix)
+{
+    auto banks = static_cast<std::uint32_t>(bankBalance.size());
+    std::uint64_t per = lines / banks;
+    std::uint64_t extra = lines % banks;
+    for (std::uint32_t b = 0; b < banks; b++) {
+        std::uint64_t want = per + (b < extra ? 1 : 0);
+        std::uint64_t grab = std::min(want, bankBalance[b]);
+        matrix.add(static_cast<BankId>(b), vc, grab);
+        bankBalance[b] -= grab;
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------- Static
+
+PlacementPlan
+StaticPolicy::reconfigure(const EpochInputs &in)
+{
+    const PlacementGeometry &geo = in.geo;
+    AllocationMatrix matrix(geo.banks);
+    std::vector<std::uint64_t> balance(geo.banks, geo.linesPerBank);
+
+    // Each LC app: lcWays_ ways in every bank — clamped so that,
+    // when batch apps exist, they keep at least a quarter of the
+    // bank (a real administrator would not CAT-out all ways).
+    std::uint32_t lcCount = 0;
+    bool haveBatch = false;
+    for (const auto &vc : in.vcs) {
+        if (vc.latencyCritical) lcCount++;
+        else haveBatch = true;
+    }
+    std::uint32_t lcWaysEff = lcWays_;
+    if (haveBatch && lcCount > 0) {
+        std::uint32_t budget =
+            geo.waysPerBank - std::max(1u, geo.waysPerBank / 4);
+        lcWaysEff = std::max(1u, std::min(lcWays_, budget / lcCount));
+    }
+    std::uint64_t lcLinesPerBank =
+        static_cast<std::uint64_t>(lcWaysEff) * geo.linesPerWay();
+    for (const auto &vc : in.vcs) {
+        if (!vc.latencyCritical) continue;
+        for (std::uint32_t b = 0; b < geo.banks; b++) {
+            std::uint64_t grab = std::min(lcLinesPerBank, balance[b]);
+            matrix.add(static_cast<BankId>(b), vc.vc, grab);
+            balance[b] -= grab;
+        }
+    }
+
+    // Batch apps share all remaining ways in every bank.
+    std::vector<std::vector<VcId>> sharedGroups(1);
+    std::vector<VcId> &sharedVcs = sharedGroups.front();
+    for (const auto &vc : in.vcs) {
+        if (vc.latencyCritical) continue;
+        sharedVcs.push_back(vc.vc);
+    }
+    if (!sharedVcs.empty()) {
+        // Give every batch VC an equal claim on the shared pool; the
+        // materializer merges them into one unified partition.
+        auto shareCount = static_cast<std::uint64_t>(sharedVcs.size());
+        for (std::uint32_t b = 0; b < geo.banks; b++) {
+            std::uint64_t pool = balance[b];
+            for (std::size_t i = 0; i < sharedVcs.size(); i++) {
+                std::uint64_t part = pool / shareCount;
+                if (i < pool % shareCount) part++;
+                matrix.add(static_cast<BankId>(b), sharedVcs[i], part);
+            }
+            balance[b] = 0;
+        }
+    }
+
+    return finalizePlan(materializePlan(matrix, geo, &sharedGroups), in);
+}
+
+// ----------------------------------------------------------- Adaptive
+
+PlacementPlan
+AdaptivePolicy::snucaPlan(const EpochInputs &in, bool partitionVms)
+{
+    const PlacementGeometry &geo = in.geo;
+    AllocationMatrix matrix(geo.banks);
+    std::vector<std::uint64_t> balance(geo.banks, geo.linesPerBank);
+
+    // LC apps: feedback-controlled size, striped across all banks
+    // (way-partitioned S-NUCA, Fig. 2b).
+    for (const auto &vc : latCritOf(in))
+        stripeAcrossBanks(vc.vc, vc.targetLines, balance, matrix);
+
+    std::uint64_t batchBudget = 0;
+    for (std::uint32_t b = 0; b < geo.banks; b++) batchBudget += balance[b];
+
+    auto batch = batchOf(in);
+
+    if (!partitionVms) {
+        // Batch data unpartitioned: one shared pool (Fig. 2b).
+        std::vector<std::vector<VcId>> sharedGroups(1);
+        for (const auto &vc : batch)
+            sharedGroups.front().push_back(vc.vc);
+        for (std::uint32_t b = 0; b < geo.banks; b++) {
+            std::uint64_t pool = balance[b];
+            auto n = static_cast<std::uint64_t>(
+                std::max<std::size_t>(1, batch.size()));
+            for (std::size_t i = 0; i < batch.size(); i++) {
+                std::uint64_t part = pool / n;
+                if (i < pool % n) part++;
+                matrix.add(static_cast<BankId>(b), batch[i].vc, part);
+            }
+            balance[b] = 0;
+        }
+        return finalizePlan(materializePlan(matrix, geo, &sharedGroups), in);
+    }
+
+    // VM-Part: divide batch capacity among VMs by lookahead over
+    // each VM's combined batch curve, then stripe each VM's share
+    // across all banks (still S-NUCA; Fig. 2c).
+    auto vms = vmsOf(in);
+    std::vector<LookaheadClaim> claims;
+    std::vector<std::vector<VcId>> vmBatchVcs;
+    for (VmId vm : vms) {
+        std::vector<MissCurve> curves;
+        std::vector<VcId> members;
+        for (const auto &vc : batch) {
+            if (vc.vm != vm) continue;
+            curves.push_back(vc.curve);
+            members.push_back(vc.vc);
+        }
+        LookaheadClaim claim;
+        claim.id = vm;
+        claim.curve = curves.empty() ? MissCurve::flat(1, 0.0)
+                                     : MissCurve::combineOptimal(curves);
+        // Each VM keeps at least one way per bank so every batch app
+        // has a fillable partition (CAT cannot express zero ways).
+        if (!members.empty())
+            claim.floorLines = static_cast<std::uint64_t>(geo.banks) *
+                               geo.linesPerWay();
+        claims.push_back(std::move(claim));
+        vmBatchVcs.push_back(std::move(members));
+    }
+
+    LookaheadResult shares = lookahead(claims, batchBudget, geo);
+
+    for (std::size_t i = 0; i < vms.size(); i++) {
+        // Batch apps within a VM share the VM's partition: model as
+        // equal claims merged by the caller's shared list per VM.
+        // Here each VM's batch VCs share one partition per bank.
+        const auto &members = vmBatchVcs[i];
+        if (members.empty()) continue;
+        std::uint64_t vmShare = shares.lines[i];
+        auto n = static_cast<std::uint64_t>(members.size());
+        // Stripe the VM share over banks, split evenly among members
+        // (the materializer keeps them in one VM partition via the
+        // shared list below only for Adaptive; for VM-Part each VM
+        // gets a private partition shared by its members).
+        std::uint64_t perBank = vmShare / geo.banks;
+        std::uint64_t extra = vmShare % geo.banks;
+        for (std::uint32_t b = 0; b < geo.banks; b++) {
+            std::uint64_t want = perBank + (b < extra ? 1 : 0);
+            std::uint64_t grab = std::min(want, balance[b]);
+            balance[b] -= grab;
+            for (std::size_t m = 0; m < members.size(); m++) {
+                std::uint64_t part = grab / n;
+                if (m < grab % n) part++;
+                matrix.add(static_cast<BankId>(b), members[m], part);
+            }
+        }
+    }
+
+    // Batch VCs within the same VM share the VM's partition: one
+    // shared way-mask group per VM (the paper's VM-Part divides
+    // banks into LC partitions + one partition per VM).
+    return finalizePlan(materializePlan(matrix, geo, &vmBatchVcs), in);
+}
+
+PlacementPlan
+AdaptivePolicy::reconfigure(const EpochInputs &in)
+{
+    return snucaPlan(in, false);
+}
+
+PlacementPlan
+VmPartPolicy::reconfigure(const EpochInputs &in)
+{
+    return snucaPlan(in, true);
+}
+
+// ------------------------------------------------------------- Jigsaw
+
+PlacementPlan
+JigsawPolicy::reconfigure(const EpochInputs &in)
+{
+    const PlacementGeometry &geo = in.geo;
+    AllocationMatrix matrix(geo.banks);
+    std::vector<std::uint64_t> balance(geo.banks, geo.linesPerBank);
+
+    // Pure data-movement allocation: lookahead over every VC's miss
+    // curve, LC and batch alike. LC apps at low load have tiny
+    // curves, so Jigsaw starves them — the paper's Fig. 4b.
+    std::vector<LookaheadClaim> claims;
+    for (const auto &vc : in.vcs) {
+        LookaheadClaim claim;
+        claim.id = vc.vc;
+        claim.curve = vc.curve;
+        claim.floorLines = geo.linesPerWay();
+        claims.push_back(std::move(claim));
+    }
+    LookaheadResult alloc = lookahead(claims, geo.totalLines(), geo,
+                                      4 * geo.linesPerWay());
+
+    std::vector<PlacementRequest> requests;
+    for (std::size_t i = 0; i < in.vcs.size(); i++) {
+        PlacementRequest r;
+        r.vc = in.vcs[i].vc;
+        r.coreTile = in.vcs[i].coreTile;
+        r.lines = alloc.lines[i];
+        r.intensity = intensityOf(in.vcs[i]);
+        requests.push_back(r);
+    }
+    jigsawPlacer(requests, balance, {}, *in.mesh, matrix);
+    return finalizePlan(materializePlan(matrix, geo, nullptr), in);
+}
+
+// ------------------------------------------------------------ Jumanji
+
+PlacementPlan
+JumanjiPolicy::reconfigure(const EpochInputs &in)
+{
+    return isolate_ ? securePlan(in) : insecurePlan(in);
+}
+
+PlacementPlan
+JumanjiPolicy::securePlan(const EpochInputs &in)
+{
+    const PlacementGeometry &geo = in.geo;
+    const MeshTopology &mesh = *in.mesh;
+    AllocationMatrix matrix(geo.banks);
+    std::vector<std::uint64_t> balance(geo.banks, geo.linesPerBank);
+
+    // Step 1 (Listing 3 line 2): reserve latency-critical space in
+    // nearby banks, never co-locating two VMs' LC data.
+    auto lc = latCritOf(in);
+    latCritPlacer(lc, balance, mesh, geo, /*isolateVms=*/true, matrix);
+
+    // Step 2: JumanjiLookahead divides the remaining capacity among
+    // VMs so each VM's total is a whole number of banks.
+    auto vms = vmsOf(in);
+    std::vector<LookaheadClaim> claims;
+    for (VmId vm : vms) {
+        std::vector<MissCurve> curves;
+        for (const auto &vc : in.vcs)
+            if (vc.vm == vm && !vc.latencyCritical)
+                curves.push_back(vc.curve);
+        LookaheadClaim claim;
+        claim.id = vm;
+        claim.curve = curves.empty() ? MissCurve::flat(1, 0.0)
+                                     : MissCurve::combineOptimal(curves);
+        for (const auto &vc : lc)
+            if (vc.vm == vm) claim.floorLines += matrix.vcTotal(vc.vc);
+        claims.push_back(std::move(claim));
+    }
+    LookaheadResult vmTotals =
+        jumanjiLookahead(claims, geo.totalLines(), geo);
+
+    // Step 3: assign whole banks to VMs. Banks already holding a
+    // VM's LC data belong to that VM; the rest are taken round-robin
+    // by nearest-first (Listing 3 lines 8-9).
+    std::vector<VmId> bankOwner(geo.banks, kInvalidVm);
+    std::vector<std::uint32_t> banksNeeded(vms.size(), 0);
+    std::map<VcId, VmId> vmOf;
+    for (const auto &vc : in.vcs) vmOf[vc.vc] = vc.vm;
+
+    for (std::size_t i = 0; i < vms.size(); i++) {
+        banksNeeded[i] = static_cast<std::uint32_t>(
+            vmTotals.lines[i] / geo.linesPerBank);
+    }
+    for (std::uint32_t b = 0; b < geo.banks; b++) {
+        auto inBank = matrix.vmsInBank(static_cast<BankId>(b), vmOf);
+        if (inBank.empty()) continue;
+        if (inBank.size() > 1)
+            warn("JumanjiPolicy: LC placement co-located two VMs");
+        bankOwner[b] = inBank.front();
+        for (std::size_t i = 0; i < vms.size(); i++) {
+            if (vms[i] == inBank.front() && banksNeeded[i] > 0)
+                banksNeeded[i]--;
+        }
+    }
+
+    // Representative tile per VM: its first core's tile.
+    std::vector<std::uint32_t> vmTile(vms.size(), 0);
+    for (std::size_t i = 0; i < vms.size(); i++) {
+        for (const auto &vc : in.vcs) {
+            if (vc.vm == vms[i]) {
+                vmTile[i] = vc.coreTile;
+                break;
+            }
+        }
+    }
+
+    // Sticky pass: each VM first reclaims the banks it owned last
+    // epoch, so quota wobbles move at most a bank or two.
+    if (lastOwner_.size() == geo.banks) {
+        for (std::size_t i = 0; i < vms.size(); i++) {
+            for (std::uint32_t b = 0; b < geo.banks && banksNeeded[i] > 0;
+                 b++) {
+                if (bankOwner[b] != kInvalidVm) continue;
+                if (lastOwner_[b] != vms[i]) continue;
+                bankOwner[b] = vms[i];
+                banksNeeded[i]--;
+            }
+        }
+    }
+
+    bool assigned = true;
+    while (assigned) {
+        assigned = false;
+        for (std::size_t i = 0; i < vms.size(); i++) {
+            if (banksNeeded[i] == 0) continue;
+            for (std::uint32_t tile : mesh.tilesByDistance(vmTile[i])) {
+                if (tile >= geo.banks) continue;
+                if (bankOwner[tile] != kInvalidVm) continue;
+                bankOwner[tile] = vms[i];
+                banksNeeded[i]--;
+                assigned = true;
+                break;
+            }
+        }
+    }
+    lastOwner_ = bankOwner;
+
+    // Step 4 (Listing 3 lines 10-12): Jigsaw placement of each VM's
+    // batch apps within the VM's banks.
+    for (std::size_t i = 0; i < vms.size(); i++) {
+        std::vector<BankId> vmBanks;
+        for (std::uint32_t b = 0; b < geo.banks; b++)
+            if (bankOwner[b] == vms[i])
+                vmBanks.push_back(static_cast<BankId>(b));
+        if (vmBanks.empty()) continue;
+
+        std::uint64_t vmCapacity = 0;
+        for (BankId b : vmBanks) vmCapacity += balance[
+            static_cast<std::size_t>(b)];
+
+        // Per-app allocation within the VM: plain lookahead.
+        std::vector<LookaheadClaim> appClaims;
+        std::vector<const VcInfo *> members;
+        for (const auto &vc : in.vcs) {
+            if (vc.vm != vms[i] || vc.latencyCritical) continue;
+            LookaheadClaim claim;
+            claim.id = vc.vc;
+            claim.curve = vc.curve;
+            claim.floorLines = geo.linesPerWay();
+            appClaims.push_back(std::move(claim));
+            members.push_back(&vc);
+        }
+        if (members.empty()) continue;
+        // Coarse (4-way) quanta: batch allocations stay put when
+        // curves wobble, keeping coherence-walk churn low.
+        LookaheadResult appAlloc = lookahead(appClaims, vmCapacity, geo,
+                                             4 * geo.linesPerWay());
+
+        std::vector<PlacementRequest> requests;
+        for (std::size_t m = 0; m < members.size(); m++) {
+            PlacementRequest r;
+            r.vc = members[m]->vc;
+            r.coreTile = members[m]->coreTile;
+            r.lines = appAlloc.lines[m];
+            r.intensity = intensityOf(*members[m]);
+            requests.push_back(r);
+        }
+        jigsawPlacer(requests, balance, vmBanks, mesh, matrix);
+    }
+
+    return finalizePlan(materializePlan(matrix, geo, nullptr), in);
+}
+
+PlacementPlan
+JumanjiPolicy::insecurePlan(const EpochInputs &in)
+{
+    const PlacementGeometry &geo = in.geo;
+    const MeshTopology &mesh = *in.mesh;
+    AllocationMatrix matrix(geo.banks);
+    std::vector<std::uint64_t> balance(geo.banks, geo.linesPerBank);
+
+    // LC reservations exactly as Jumanji, but no VM isolation.
+    auto lc = latCritOf(in);
+    latCritPlacer(lc, balance, mesh, geo, /*isolateVms=*/false, matrix);
+
+    std::uint64_t batchBudget = 0;
+    for (auto b : balance) batchBudget += b;
+
+    // Batch: per-app lookahead over the whole remaining LLC, placed
+    // greedily with no bank-ownership constraint.
+    auto batch = batchOf(in);
+    std::vector<LookaheadClaim> claims;
+    for (const auto &vc : batch) {
+        LookaheadClaim claim;
+        claim.id = vc.vc;
+        claim.curve = vc.curve;
+        claim.floorLines = geo.linesPerWay();
+        claims.push_back(std::move(claim));
+    }
+    LookaheadResult alloc =
+        lookahead(claims, batchBudget, geo, 4 * geo.linesPerWay());
+
+    std::vector<PlacementRequest> requests;
+    for (std::size_t i = 0; i < batch.size(); i++) {
+        PlacementRequest r;
+        r.vc = batch[i].vc;
+        r.coreTile = batch[i].coreTile;
+        r.lines = alloc.lines[i];
+        r.intensity = intensityOf(batch[i]);
+        requests.push_back(r);
+    }
+    jigsawPlacer(requests, balance, {}, mesh, matrix);
+    return finalizePlan(materializePlan(matrix, geo, nullptr), in);
+}
+
+// --------------------------------------------------- Ideal batch LLC
+
+PlacementPlan
+JumanjiIdealBatchPolicy::reconfigure(const EpochInputs &in)
+{
+    const PlacementGeometry &geo = in.geo;
+    const MeshTopology &mesh = *in.mesh;
+
+    // LC and batch data live in *separate copies* of the LLC, so
+    // their allocations are materialized independently and merged;
+    // the System routes LC VCs to one MemPath and batch to another.
+    AllocationMatrix lcMatrix(geo.banks);
+    AllocationMatrix matrix(geo.banks);
+
+    // LC apps: Jumanji's nearby reservation, in the LC copy of the
+    // LLC (full balance; batch does not compete).
+    std::vector<std::uint64_t> lcBalance(geo.banks, geo.linesPerBank);
+    auto lc = latCritOf(in);
+    latCritPlacer(lc, lcBalance, mesh, geo, /*isolateVms=*/true,
+                  lcMatrix);
+
+    std::uint64_t lcTotal = 0;
+    for (const auto &vc : lc) lcTotal += lcMatrix.vcTotal(vc.vc);
+
+    // Batch apps: capacity budget is what LC left over, but placed in
+    // a *fresh* LLC where every bank is empty — unconstrained by LC
+    // placement. VM isolation still applies (Sec. VIII-C).
+    std::uint64_t batchBudget =
+        geo.totalLines() > lcTotal ? geo.totalLines() - lcTotal : 0;
+    // Bank-granular per-VM division, as Jumanji.
+    auto vms = [&] {
+        std::vector<VmId> v;
+        for (const auto &vc : in.vcs)
+            if (std::find(v.begin(), v.end(), vc.vm) == v.end())
+                v.push_back(vc.vm);
+        std::sort(v.begin(), v.end());
+        return v;
+    }();
+
+    std::vector<LookaheadClaim> claims;
+    for (VmId vm : vms) {
+        std::vector<MissCurve> curves;
+        for (const auto &vc : in.vcs)
+            if (vc.vm == vm && !vc.latencyCritical)
+                curves.push_back(vc.curve);
+        LookaheadClaim claim;
+        claim.id = vm;
+        claim.curve = curves.empty() ? MissCurve::flat(1, 0.0)
+                                     : MissCurve::combineOptimal(curves);
+        claims.push_back(std::move(claim));
+    }
+    // Round the batch budget down to a bank multiple for the
+    // bank-granular divide; the remainder is surrendered (idealized
+    // designs need not squeeze partial banks).
+    std::uint64_t bankBudget =
+        batchBudget / geo.linesPerBank * geo.linesPerBank;
+    LookaheadResult vmTotals = jumanjiLookahead(claims, bankBudget, geo);
+
+    // Assign banks in the batch LLC round-robin nearest-first.
+    std::vector<std::uint64_t> batchBalance(geo.banks, geo.linesPerBank);
+    std::vector<VmId> bankOwner(geo.banks, kInvalidVm);
+    std::vector<std::uint32_t> banksNeeded(vms.size(), 0);
+    for (std::size_t i = 0; i < vms.size(); i++)
+        banksNeeded[i] = static_cast<std::uint32_t>(
+            vmTotals.lines[i] / geo.linesPerBank);
+
+    std::vector<std::uint32_t> vmTile(vms.size(), 0);
+    for (std::size_t i = 0; i < vms.size(); i++) {
+        for (const auto &vc : in.vcs) {
+            if (vc.vm == vms[i]) {
+                vmTile[i] = vc.coreTile;
+                break;
+            }
+        }
+    }
+    bool assigned = true;
+    while (assigned) {
+        assigned = false;
+        for (std::size_t i = 0; i < vms.size(); i++) {
+            if (banksNeeded[i] == 0) continue;
+            for (std::uint32_t tile : mesh.tilesByDistance(vmTile[i])) {
+                if (tile >= geo.banks) continue;
+                if (bankOwner[tile] != kInvalidVm) continue;
+                bankOwner[tile] = vms[i];
+                banksNeeded[i]--;
+                assigned = true;
+                break;
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < vms.size(); i++) {
+        std::vector<BankId> vmBanks;
+        for (std::uint32_t b = 0; b < geo.banks; b++)
+            if (bankOwner[b] == vms[i])
+                vmBanks.push_back(static_cast<BankId>(b));
+        if (vmBanks.empty()) continue;
+
+        std::uint64_t vmCapacity = 0;
+        for (BankId b : vmBanks)
+            vmCapacity += batchBalance[static_cast<std::size_t>(b)];
+
+        std::vector<LookaheadClaim> appClaims;
+        std::vector<const VcInfo *> members;
+        for (const auto &vc : in.vcs) {
+            if (vc.vm != vms[i] || vc.latencyCritical) continue;
+            LookaheadClaim claim;
+            claim.id = vc.vc;
+            claim.curve = vc.curve;
+            claim.floorLines = geo.linesPerWay();
+            appClaims.push_back(std::move(claim));
+            members.push_back(&vc);
+        }
+        if (members.empty()) continue;
+        LookaheadResult appAlloc = lookahead(appClaims, vmCapacity, geo,
+                                             4 * geo.linesPerWay());
+
+        std::vector<PlacementRequest> requests;
+        for (std::size_t m = 0; m < members.size(); m++) {
+            PlacementRequest r;
+            r.vc = members[m]->vc;
+            r.coreTile = members[m]->coreTile;
+            r.lines = appAlloc.lines[m];
+            r.intensity = members[m]->curve.at(0);
+            requests.push_back(r);
+        }
+        jigsawPlacer(requests, batchBalance, vmBanks, mesh, matrix);
+    }
+
+    // Merge: LC descriptors/masks from the LC copy, batch from the
+    // batch copy. Bank ids coincide; the System routes by VC.
+    PlacementPlan lcPlan = materializePlan(lcMatrix, geo, nullptr);
+    PlacementPlan batchPlan = materializePlan(matrix, geo, nullptr);
+    for (auto &[vc, desc] : lcPlan.descriptors)
+        batchPlan.descriptors[vc] = desc;
+    for (auto &[vc, mask] : lcPlan.wayMasks)
+        batchPlan.wayMasks[vc] = mask;
+    // Keep the batch matrix for reporting; merge LC totals in.
+    for (std::uint32_t b = 0; b < geo.banks; b++)
+        for (const auto &[vc, lines] : lcMatrix.bank(
+                 static_cast<BankId>(b)))
+            batchPlan.matrix.add(static_cast<BankId>(b), vc, lines);
+    return finalizePlan(std::move(batchPlan), in);
+}
+
+} // namespace jumanji

@@ -1,0 +1,233 @@
+#include "src/core/runtime_driver.hh"
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+RuntimeDriver::RuntimeDriver(std::unique_ptr<LlcPolicy> policy,
+                             MemPath *path, MemPath *idealBatchPath,
+                             const PlacementGeometry &geo, Tick epochTicks)
+    : policy_(std::move(policy)),
+      path_(path),
+      idealBatchPath_(idealBatchPath),
+      geo_(geo),
+      epochTicks_(epochTicks)
+{
+    if (!policy_) fatal("RuntimeDriver: policy must be non-null");
+    if (path_ == nullptr) fatal("RuntimeDriver: path must be non-null");
+    if (policy_->wantsIdealBatchLlc() && idealBatchPath_ == nullptr)
+        fatal("RuntimeDriver: Ideal Batch policy needs a second LLC");
+    if (epochTicks_ == 0) fatal("RuntimeDriver: epoch must be nonzero");
+}
+
+void
+RuntimeDriver::registerApp(const RuntimeAppInfo &info,
+                           const ControllerParams &params, double deadline)
+{
+    apps_.push_back(info);
+    path_->registerVc(info.vc);
+    if (idealBatchPath_ != nullptr) idealBatchPath_->registerVc(info.vc);
+
+    if (info.latencyCritical) {
+        std::uint64_t total = geo_.totalLines();
+        // The paper's panic size: one-eighth of the LLC; start each
+        // LC app at the panic size so early epochs are safe.
+        std::uint64_t panic = total / 8;
+        // Cap each LC app at a quarter of the LLC so that several
+        // panicked controllers cannot jointly demand more capacity
+        // than exists.
+        // Floor at 1/32 of the LLC: S-NUCA designs get an implicit
+        // floor of one way in every bank from CAT quantization; the
+        // D-NUCA controller gets the same so it cannot ride its
+        // allocation over the thrash cliff between epochs (Fig. 4b's
+        // Jumanji allocations never drop near zero either).
+        std::uint64_t minLines =
+            std::max<std::uint64_t>(geo_.linesPerWay(), total / 32);
+        controllers_.emplace(
+            info.vc,
+            std::make_unique<FeedbackController>(
+                params, deadline, panic, panic, minLines,
+                /*maxLines=*/total / 4));
+    }
+}
+
+void
+RuntimeDriver::requestCompleted(VcId vc, double latencyCycles)
+{
+    auto it = controllers_.find(vc);
+    if (it == controllers_.end())
+        panic("RuntimeDriver::requestCompleted: not a controlled VC");
+    it->second->requestCompleted(latencyCycles);
+}
+
+void
+RuntimeDriver::migrateApp(VcId vc, std::uint32_t newTile)
+{
+    for (auto &app : apps_) {
+        if (app.vc == vc) {
+            app.coreTile = newTile;
+            return;
+        }
+    }
+    panic("RuntimeDriver::migrateApp: unknown VC");
+}
+
+std::uint32_t
+RuntimeDriver::appTile(VcId vc) const
+{
+    for (const auto &app : apps_)
+        if (app.vc == vc) return app.coreTile;
+    panic("RuntimeDriver::appTile: unknown VC");
+}
+
+FeedbackController *
+RuntimeDriver::controller(VcId vc)
+{
+    auto it = controllers_.find(vc);
+    return it == controllers_.end() ? nullptr : it->second.get();
+}
+
+void
+RuntimeDriver::setDeadline(VcId vc, double deadline)
+{
+    auto it = controllers_.find(vc);
+    if (it == controllers_.end())
+        panic("RuntimeDriver::setDeadline: not a controlled VC");
+    it->second->setDeadline(deadline);
+}
+
+EpochInputs
+RuntimeDriver::gatherInputs()
+{
+    EpochInputs in;
+    in.geo = geo_;
+    in.mesh = &path_->mesh();
+
+    for (const auto &app : apps_) {
+        VcInfo vc;
+        vc.vc = app.vc;
+        vc.app = app.app;
+        vc.vm = app.vm;
+        vc.coreTile = app.coreTile;
+        vc.latencyCritical = app.latencyCritical;
+        vc.name = app.name;
+
+        // UMON curve, convex-hulled: the DRRIP approximation
+        // (Sec. IV-A). Batch VCs on the ideal path use its UMONs.
+        MemPath *source = path_;
+        if (idealBatchPath_ != nullptr && !app.latencyCritical)
+            source = idealBatchPath_;
+        Umon &umon = source->umon(app.vc);
+        vc.curve = hullCurves_ ? umon.missCurve().convexHull()
+                               : umon.missCurve();
+
+        // Rate-normalize batch curves (see RuntimeAppInfo).
+        if (rateNormalize_ && !app.latencyCritical &&
+            app.nominalAccessesPerCycle > 0.0 &&
+            umon.accesses() > 0) {
+            double nominal = app.nominalAccessesPerCycle *
+                             static_cast<double>(epochTicks_);
+            double factor = nominal /
+                            static_cast<double>(umon.accesses());
+            if (factor > 1.0) vc.curve = vc.curve.scaled(factor);
+        }
+
+        if (app.latencyCritical) {
+            if (fixedLcTarget_ > 0) {
+                vc.targetLines = fixedLcTarget_;
+            } else {
+                auto it = controllers_.find(app.vc);
+                if (it == controllers_.end())
+                    panic("RuntimeDriver: LC app without controller");
+                vc.targetLines = it->second->targetLines();
+
+                // Installation deadband: relocating an LC reservation
+                // invalidates its hottest lines (the coherence walk),
+                // which at our compressed epoch length costs a
+                // meaningful fraction of an epoch's accesses. Only
+                // move the installed size for changes >= 15% — except
+                // growth demands (missed deadlines), which always
+                // apply immediately.
+                auto inst = installedLcTarget_.find(app.vc);
+                if (inst != installedLcTarget_.end() &&
+                    vc.targetLines < inst->second) {
+                    double rel = static_cast<double>(inst->second -
+                                                     vc.targetLines) /
+                                 static_cast<double>(inst->second);
+                    if (rel < 0.15) vc.targetLines = inst->second;
+                }
+                installedLcTarget_[app.vc] = vc.targetLines;
+            }
+        }
+        in.vcs.push_back(std::move(vc));
+    }
+    return in;
+}
+
+void
+RuntimeDriver::installPlan(const PlacementPlan &plan, Tick now)
+{
+    EpochRecord record;
+    record.when = now;
+
+    for (const auto &app : apps_) {
+        auto descIt = plan.descriptors.find(app.vc);
+        if (descIt == plan.descriptors.end()) {
+            warn("RuntimeDriver: no placement for app " + app.name);
+            continue;
+        }
+
+        MemPath *target = path_;
+        if (idealBatchPath_ != nullptr && !app.latencyCritical)
+            target = idealBatchPath_;
+
+        // Way masks first: the placement walk migrates lines into
+        // their new banks, and those fills must land inside the
+        // VC's *new* partition, not the stale one.
+        auto maskIt = plan.wayMasks.find(app.vc);
+        if (maskIt != plan.wayMasks.end())
+            target->installWayMasks(app.vc, maskIt->second);
+
+        // Stabilize against the installed descriptor so that small
+        // allocation changes move few hash slices (fewer coherence
+        // invalidations).
+        PlacementDescriptor desc = descIt->second;
+        if (target->vtb().has(app.vc))
+            desc = desc.stabilizedAgainst(
+                target->vtb().descriptor(app.vc));
+
+        record.invalidations += target->installPlacement(app.vc, desc);
+
+        record.allocLines[app.vc] = plan.matrix.vcTotal(app.vc);
+    }
+
+    invalidations_ += record.invalidations;
+    timeline_.push_back(std::move(record));
+}
+
+void
+RuntimeDriver::reconfigureNow(Tick now)
+{
+    EpochInputs in = gatherInputs();
+    PlacementPlan plan = policy_->reconfigure(in);
+    installPlan(plan, now);
+    reconfigs_++;
+
+    // Age UMON counters so curves track the recent epochs while
+    // keeping enough history to stay stable (see DESIGN.md).
+    for (const auto &app : apps_) {
+        MemPath *source = path_;
+        if (idealBatchPath_ != nullptr && !app.latencyCritical)
+            source = idealBatchPath_;
+        source->umon(app.vc).decay(0.5);
+    }
+}
+
+Tick
+RuntimeDriver::resume(Tick now)
+{
+    reconfigureNow(now);
+    return now + epochTicks_;
+}
+
+} // namespace jumanji

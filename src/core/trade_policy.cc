@@ -1,0 +1,115 @@
+#include "src/core/trade_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+JumanjiTradePolicy::JumanjiTradePolicy(const TradeParams &params)
+    : base_(true),
+      params_(params)
+{
+    if (params_.compensation < 1.0)
+        fatal("JumanjiTradePolicy: compensation must be >= 1 "
+              "(latency-critical apps may never be penalized)");
+}
+
+PlacementPlan
+JumanjiTradePolicy::reconfigure(const EpochInputs &in)
+{
+    PlacementPlan plan = base_.reconfigure(in);
+    AllocationMatrix matrix = plan.matrix;
+    std::uint32_t applied = tradePass(matrix, in);
+    if (applied == 0) return plan;
+    // Re-materialize with the traded matrix. (Descriptors and masks
+    // must reflect the new per-bank capacities.) Zero-capacity VCs
+    // keep the base plan's fallback descriptors/masks, which the
+    // re-materialization would otherwise drop.
+    PlacementPlan traded = materializePlan(matrix, in.geo, nullptr);
+    for (const auto &[vc, desc] : plan.descriptors)
+        if (!traded.descriptors.count(vc)) traded.descriptors[vc] = desc;
+    for (const auto &[vc, masks] : plan.wayMasks)
+        if (!traded.wayMasks.count(vc)) traded.wayMasks[vc] = masks;
+    return traded;
+}
+
+std::uint32_t
+JumanjiTradePolicy::tradePass(AllocationMatrix &matrix,
+                              const EpochInputs &in)
+{
+    const PlacementGeometry &geo = in.geo;
+    const MeshTopology &mesh = *in.mesh;
+    std::uint64_t unit = static_cast<std::uint64_t>(params_.unitWays) *
+                         geo.linesPerWay();
+
+    std::uint32_t applied = 0;
+    for (const auto &batch : in.vcs) {
+        if (batch.latencyCritical) continue;
+        if (applied >= params_.maxTrades) break;
+
+        for (const auto &lc : in.vcs) {
+            if (!lc.latencyCritical || lc.vm != batch.vm) continue;
+
+            // Candidate: a bank where the LC app holds capacity that
+            // is *closer to the batch app's core* than some bank the
+            // batch app currently occupies.
+            for (BankId near : matrix.banksOfVc(lc.vc)) {
+                considered_++;
+                std::uint64_t lcHere = matrix.get(near, lc.vc);
+                if (lcHere < unit) continue;
+
+                // Find the batch app's furthest-occupied bank.
+                BankId far = kInvalidBank;
+                std::uint32_t farHops = 0;
+                for (BankId b : matrix.banksOfVc(batch.vc)) {
+                    std::uint32_t h = mesh.hops(
+                        batch.coreTile, static_cast<std::uint32_t>(b));
+                    if (far == kInvalidBank || h > farHops) {
+                        far = b;
+                        farHops = h;
+                    }
+                }
+                if (far == kInvalidBank) continue;
+
+                std::uint32_t nearHops = mesh.hops(
+                    batch.coreTile, static_cast<std::uint32_t>(near));
+                // The batch app must actually get closer, and it must
+                // be able to afford the compensated price.
+                if (nearHops >= farHops) continue;
+                auto price = static_cast<std::uint64_t>(std::ceil(
+                    static_cast<double>(unit) * params_.compensation));
+                if (matrix.get(far, batch.vc) < price) continue;
+                // The LC app must not move further from its own core.
+                std::uint32_t lcNearHops = mesh.hops(
+                    lc.coreTile, static_cast<std::uint32_t>(near));
+                std::uint32_t lcFarHops = mesh.hops(
+                    lc.coreTile, static_cast<std::uint32_t>(far));
+                // Trade is acceptable only if the compensated
+                // capacity offsets the distance increase: we require
+                // the LC app's new bank to be at most one hop further
+                // per 25% capacity premium.
+                if (lcFarHops >
+                    lcNearHops + static_cast<std::uint32_t>(
+                                     (params_.compensation - 1.0) * 4))
+                    continue;
+
+                // Execute the swap: the batch app buys `unit` lines
+                // in the near bank from the LC reservation, paying
+                // `price` lines of its own capacity in the far bank.
+                matrix.remove(near, lc.vc, unit);
+                matrix.add(near, batch.vc, unit);
+                matrix.remove(far, batch.vc, price);
+                matrix.add(far, lc.vc, price);
+                applied++;
+                accepted_++;
+                break;
+            }
+            if (applied >= params_.maxTrades) break;
+        }
+    }
+    return applied;
+}
+
+} // namespace jumanji

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * JumanjiTradePolicy: the more sophisticated placement algorithm the
+ * paper built and then *rejected* (Sec. V-D, Sec. VIII-C).
+ *
+ * After the standard JumanjiPlacer runs, this policy attempts trades
+ * between latency-critical and batch allocations within each VM:
+ * a batch application may buy capacity in a bank close to its core
+ * from a latency-critical reservation, paying with *more* capacity
+ * in a bank further away — latency-critical applications must never
+ * be penalized, so they are always compensated at a premium.
+ *
+ * The paper reports that under this constraint "trades were very
+ * rare and yielded little speedup", which is why Jumanji ships with
+ * the simple greedy LatCritPlacer. This implementation exists to
+ * reproduce that negative result (bench/ablation_design_choices).
+ */
+
+#ifndef JUMANJI_CORE_TRADE_POLICY_HH
+#define JUMANJI_CORE_TRADE_POLICY_HH
+
+#include <cstdint>
+
+#include "src/core/policies.hh"
+
+namespace jumanji {
+
+/** Tuning for the trade pass. */
+struct TradeParams
+{
+    /** Lines of compensation per line taken from an LC reservation. */
+    double compensation = 1.25;
+    /** Trade unit, in ways' worth of lines. */
+    std::uint32_t unitWays = 1;
+    /** Max trades attempted per reconfiguration. */
+    std::uint32_t maxTrades = 16;
+};
+
+/**
+ * Jumanji + the post-placement trading pass.
+ */
+class JumanjiTradePolicy : public LlcPolicy
+{
+  public:
+    explicit JumanjiTradePolicy(const TradeParams &params = {});
+
+    const char *name() const override { return "Jumanji-Trade"; }
+    PlacementPlan reconfigure(const EpochInputs &in) override;
+
+    /** Trades accepted across all reconfigurations (the paper's
+     *  observation: this stays near zero). */
+    std::uint64_t tradesAccepted() const { return accepted_; }
+
+    /** Trades considered across all reconfigurations. */
+    std::uint64_t tradesConsidered() const { return considered_; }
+
+  private:
+    /** Runs the trade pass over @p matrix. @return trades applied. */
+    std::uint32_t tradePass(AllocationMatrix &matrix,
+                            const EpochInputs &in);
+
+    JumanjiPolicy base_;
+    TradeParams params_;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t considered_ = 0;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_CORE_TRADE_POLICY_HH

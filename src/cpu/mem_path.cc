@@ -1,0 +1,217 @@
+#include "src/cpu/mem_path.hh"
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+MemPath::MemPath(const LlcParams &llc, const MeshParams &mesh,
+                 const MemoryParams &mem, const UmonParams &umon,
+                 std::uint64_t seed)
+    : mesh_(mesh),
+      memory_(mem, mesh_),
+      llcParams_(llc),
+      umonParams_(umon)
+{
+    if (llc.banks == 0) fatal("MemPath: need at least one LLC bank");
+    if (llc.banks > mesh_.numTiles())
+        fatal("MemPath: more banks than mesh tiles");
+    banks_.reserve(llc.banks);
+    for (std::uint32_t b = 0; b < llc.banks; b++) {
+        banks_.push_back(std::make_unique<CacheBank>(
+            static_cast<BankId>(b), llc.setsPerBank, llc.ways, llc.repl,
+            llc.timing, seed + 0x1000 + b));
+    }
+}
+
+void
+MemPath::registerVc(VcId vc)
+{
+    if (umons_.count(vc)) return;
+    UmonParams p = umonParams_;
+    p.modelledLines = totalLines();
+    umons_.emplace(vc, std::make_unique<Umon>(p));
+}
+
+Umon &
+MemPath::umon(VcId vc)
+{
+    auto it = umons_.find(vc);
+    if (it == umons_.end()) panic("MemPath::umon: unregistered VC");
+    return *it->second;
+}
+
+std::uint64_t
+MemPath::linesPerBank() const
+{
+    return static_cast<std::uint64_t>(llcParams_.setsPerBank) *
+           llcParams_.ways;
+}
+
+std::uint64_t
+MemPath::totalLines() const
+{
+    return linesPerBank() * llcParams_.banks;
+}
+
+MemPath::Route
+MemPath::planAccess(std::uint32_t coreTile, VcId vc, LineAddr line) const
+{
+    Route route;
+    route.bank = vtb_.lookup(vc, line);
+    if (route.bank == kInvalidBank)
+        panic("MemPath::planAccess: VC descriptor has an invalid slot");
+    route.hops = mesh_.hops(coreTile,
+                            static_cast<std::uint32_t>(route.bank));
+    route.traversal = mesh_.traversalLatency(route.hops);
+    return route;
+}
+
+PathAccessResult
+MemPath::accessArrived(Tick now, std::uint32_t coreTile,
+                       const AccessOwner &owner, LineAddr line)
+{
+    PathAccessResult result;
+
+    Route route = planAccess(coreTile, owner.vc, line);
+    result.bank = route.bank;
+    result.hopsToBank = route.hops;
+
+    // With link contention modelled, the request may arrive later
+    // than the uncontended estimate the core scheduled with; the
+    // extra wait is part of the observed latency.
+    Tick linkDelay = 0;
+    if (mesh_.params().modelLinkContention) {
+        // The route is re-planned at arrival; a reconfiguration
+        // between issue and arrival can change the traversal, so
+        // clamp instead of underflowing Tick (an underflow would
+        // poison the link busy-until times permanently).
+        Tick issue = now > route.traversal ? now - route.traversal : 0;
+        Tick actual = mesh_.traverse(
+            issue, coreTile, static_cast<std::uint32_t>(route.bank),
+            /*request flits=*/1);
+        if (actual > now) linkDelay = actual - now;
+        now = std::max(now, actual);
+    }
+
+    CacheBank &bank = *banks_[static_cast<std::size_t>(route.bank)];
+
+    // Vulnerability metric (Sec. VII): apps from other VMs occupying
+    // this bank when the access arrives are potential port attackers.
+    lastAttackers_ = bank.constArray().appsFromOtherVms(owner.vm);
+    attackerSum_ += lastAttackers_;
+    llcAccesses_++;
+
+    // UMON observes the access regardless of hit/miss.
+    auto umonIt = umons_.find(owner.vc);
+    if (umonIt != umons_.end()) umonIt->second->access(line);
+
+    counters_.nocHops += 2ull * route.hops;
+
+    BankAccessResult bankResult = bank.access(now, line, owner);
+    result.llcHit = bankResult.hit;
+    result.bankQueueDelay = bankResult.queueDelay;
+
+    // Bank (+memory) plus the response traversal back to the core.
+    Tick total = linkDelay + bankResult.latency + route.traversal;
+    if (mesh_.params().modelLinkContention) {
+        // The data response occupies links for its flit count.
+        Tick respStart = now + bankResult.latency;
+        Tick respEnd = mesh_.traverse(
+            respStart, static_cast<std::uint32_t>(route.bank), coreTile,
+            mesh_.params().dataFlits);
+        total = linkDelay + bankResult.latency +
+                (respEnd - respStart);
+    }
+    if (bankResult.hit) {
+        counters_.llcHits++;
+    } else {
+        counters_.llcMisses++;
+        counters_.memAccesses++;
+        // Bank -> memory controller -> bank.
+        std::uint32_t mc = memory_.controllerFor(line);
+        std::uint32_t mcTile = memory_.controllerTile(mc);
+        std::uint32_t mcHops = mesh_.hops(
+            static_cast<std::uint32_t>(route.bank), mcTile);
+        counters_.nocHops += 2ull * mcHops;
+        Tick arriveAtMem = now + bankResult.latency +
+                           mesh_.traversalLatency(mcHops);
+        MemAccessResult memResult = memory_.access(
+            arriveAtMem, line, owner.vm, owner.latencyCritical);
+        total += 2 * mesh_.traversalLatency(mcHops) + memResult.latency;
+    }
+
+    result.latency = total;
+    return result;
+}
+
+PathAccessResult
+MemPath::access(Tick now, std::uint32_t coreTile, const AccessOwner &owner,
+                LineAddr line)
+{
+    Route route = planAccess(coreTile, owner.vc, line);
+    PathAccessResult result =
+        accessArrived(now + route.traversal, coreTile, owner, line);
+    // Full issue-to-data latency includes the request traversal.
+    result.latency += route.traversal;
+    return result;
+}
+
+std::uint64_t
+MemPath::installPlacement(VcId vc, const PlacementDescriptor &desc)
+{
+    bool hadOld = vtb_.has(vc);
+    PlacementDescriptor old;
+    if (hadOld) old = vtb_.descriptor(vc);
+    vtb_.install(vc, desc);
+    if (!hadOld) return 0;
+    if (old == desc) return 0;
+
+    // Background coherence walk: *migrate* lines whose bank changed.
+    // (Jigsaw's hardware invalidates them; at paper scale a refetch
+    // costs ~0.1% of an epoch, so invalidation and migration are
+    // equivalent. At this simulator's compressed epoch length an
+    // invalidation storm would cost ~100x more *relative* time than
+    // it does in the paper, so migration is the behaviour-preserving
+    // model — see DESIGN.md.)
+    std::uint64_t moved = 0;
+    std::vector<std::pair<LineAddr, AccessOwner>> evictees;
+    for (auto &bank : banks_) {
+        BankId here = bank->id();
+        bank->array().invalidateIf(
+            [&](LineAddr line, const AccessOwner &o) {
+                if (o.vc != vc) return false;
+                if (desc.bankFor(line) == here) return false;
+                evictees.emplace_back(line, o);
+                return true;
+            });
+    }
+    if (!migrate_) return evictees.size();
+    for (const auto &[line, owner] : evictees) {
+        BankId target = desc.bankFor(line);
+        if (target == kInvalidBank) continue;
+        banks_[static_cast<std::size_t>(target)]->array().insert(line,
+                                                                 owner);
+        moved++;
+    }
+    return moved;
+}
+
+std::uint64_t
+MemPath::flushBankForVm(BankId bank, VmId incoming)
+{
+    return banks_[static_cast<std::size_t>(bank)]->array().invalidateIf(
+        [incoming](LineAddr, const AccessOwner &o) {
+            return o.vm != incoming;
+        });
+}
+
+void
+MemPath::installWayMasks(VcId vc, const std::vector<WayMask> &masksPerBank)
+{
+    if (masksPerBank.size() != banks_.size())
+        panic("MemPath::installWayMasks: mask count != bank count");
+    for (std::size_t b = 0; b < banks_.size(); b++)
+        banks_[b]->array().setWayMask(vc, masksPerBank[b]);
+}
+
+} // namespace jumanji

@@ -1,0 +1,150 @@
+#include "src/dnuca/miss_curve.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+MissCurve::MissCurve(std::vector<double> points)
+    : points_(std::move(points))
+{
+    // Enforce monotone non-increasing: more capacity never hurts.
+    for (std::size_t i = 1; i < points_.size(); i++)
+        points_[i] = std::min(points_[i], points_[i - 1]);
+}
+
+MissCurve
+MissCurve::flat(std::size_t buckets, double misses)
+{
+    return MissCurve(std::vector<double>(buckets + 1, misses));
+}
+
+double
+MissCurve::at(std::size_t k) const
+{
+    if (points_.empty()) return 0.0;
+    return points_[std::min(k, points_.size() - 1)];
+}
+
+double
+MissCurve::interpolate(double buckets) const
+{
+    if (points_.empty()) return 0.0;
+    if (buckets <= 0) return points_.front();
+    auto lo = static_cast<std::size_t>(buckets);
+    if (lo >= points_.size() - 1) return points_.back();
+    double frac = buckets - static_cast<double>(lo);
+    return points_[lo] * (1.0 - frac) + points_[lo + 1] * frac;
+}
+
+MissCurve
+MissCurve::convexHull() const
+{
+    if (points_.size() < 3) return *this;
+
+    // Lower hull over (index, value) via monotone chain, then
+    // linear interpolation between hull vertices.
+    std::vector<std::size_t> hull;
+    for (std::size_t i = 0; i < points_.size(); i++) {
+        while (hull.size() >= 2) {
+            std::size_t a = hull[hull.size() - 2];
+            std::size_t b = hull[hull.size() - 1];
+            // Keep b only if it lies strictly below segment a->i.
+            double lhs = (points_[b] - points_[a]) *
+                         static_cast<double>(i - a);
+            double rhs = (points_[i] - points_[a]) *
+                         static_cast<double>(b - a);
+            if (lhs <= rhs) break;
+            hull.pop_back();
+        }
+        hull.push_back(i);
+    }
+
+    std::vector<double> result(points_.size());
+    for (std::size_t seg = 0; seg + 1 < hull.size(); seg++) {
+        std::size_t a = hull[seg];
+        std::size_t b = hull[seg + 1];
+        for (std::size_t i = a; i <= b; i++) {
+            double t = static_cast<double>(i - a) /
+                       static_cast<double>(b - a);
+            result[i] = points_[a] * (1.0 - t) + points_[b] * t;
+        }
+    }
+    return MissCurve(std::move(result));
+}
+
+MissCurve
+MissCurve::operator+(const MissCurve &o) const
+{
+    std::size_t n = std::max(points_.size(), o.points_.size());
+    std::vector<double> sum(n);
+    for (std::size_t i = 0; i < n; i++)
+        sum[i] = at(i) + o.at(i);
+    return MissCurve(std::move(sum));
+}
+
+MissCurve
+MissCurve::scaled(double factor) const
+{
+    std::vector<double> pts = points_;
+    for (double &p : pts) p *= factor;
+    return MissCurve(std::move(pts));
+}
+
+MissCurve
+MissCurve::combineOptimal(const std::vector<MissCurve> &curves)
+{
+    if (curves.empty()) return MissCurve();
+
+    std::size_t totalBuckets = 0;
+    std::vector<MissCurve> hulls;
+    hulls.reserve(curves.size());
+    for (const auto &c : curves) {
+        hulls.push_back(c.convexHull());
+        totalBuckets += c.buckets();
+    }
+
+    // Greedy marginal-gain allocation. With convex inputs, taking the
+    // best next-bucket gain at each step is globally optimal.
+    struct Head
+    {
+        double gain;
+        std::size_t curve;
+        std::size_t next; // bucket index to take next
+        bool operator<(const Head &o) const { return gain < o.gain; }
+    };
+
+    std::priority_queue<Head> heap;
+    std::vector<std::size_t> taken(hulls.size(), 0);
+    double current = 0.0;
+    for (std::size_t i = 0; i < hulls.size(); i++) {
+        current += hulls[i].at(0);
+        if (hulls[i].buckets() > 0)
+            heap.push(Head{hulls[i].at(0) - hulls[i].at(1), i, 1});
+    }
+
+    std::vector<double> combined;
+    combined.reserve(totalBuckets + 1);
+    combined.push_back(current);
+    for (std::size_t k = 1; k <= totalBuckets; k++) {
+        if (heap.empty()) {
+            combined.push_back(current);
+            continue;
+        }
+        Head h = heap.top();
+        heap.pop();
+        current -= h.gain;
+        taken[h.curve] = h.next;
+        if (h.next < hulls[h.curve].buckets()) {
+            heap.push(Head{hulls[h.curve].at(h.next) -
+                               hulls[h.curve].at(h.next + 1),
+                           h.curve, h.next + 1});
+        }
+        combined.push_back(current);
+    }
+    return MissCurve(std::move(combined));
+}
+
+} // namespace jumanji

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Miss curves: misses as a function of allocated capacity, sampled at
+ * bucket granularity by the UMONs.
+ *
+ * Provides the two transformations the paper relies on:
+ *  - convex (lower) hull, approximating DRRIP's miss curve from an
+ *    LRU curve as in Talus [7] (Sec. IV-A), and
+ *  - combination of multiple curves into one aggregate curve for a
+ *    VM, via optimal greedy capacity division (the model of
+ *    Whirlpool [61, Appendix B]).
+ */
+
+#ifndef JUMANJI_DNUCA_MISS_CURVE_HH
+#define JUMANJI_DNUCA_MISS_CURVE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace jumanji {
+
+/**
+ * Misses per unit time as a function of capacity in buckets.
+ * curve[k] = expected misses when given k buckets of capacity.
+ * Monotonically non-increasing by construction.
+ */
+class MissCurve
+{
+  public:
+    MissCurve() = default;
+
+    /** Builds from raw points; enforces monotonicity. */
+    explicit MissCurve(std::vector<double> points);
+
+    /** A flat curve (cache-insensitive) of given size and level. */
+    static MissCurve flat(std::size_t buckets, double misses);
+
+    bool empty() const { return points_.empty(); }
+
+    /** Number of capacity steps (buckets) = size() - 1. */
+    std::size_t buckets() const
+    {
+        return points_.empty() ? 0 : points_.size() - 1;
+    }
+
+    /** Misses at an allocation of @p k buckets (clamped). */
+    double at(std::size_t k) const;
+
+    /** Misses at a fractional allocation, linearly interpolated. */
+    double interpolate(double buckets) const;
+
+    const std::vector<double> &points() const { return points_; }
+
+    /**
+     * Lower convex hull of the curve: the performance an
+     * adaptive/bypassing policy like DRRIP can achieve (Talus).
+     */
+    MissCurve convexHull() const;
+
+    /** Pointwise sum (independent apps sharing nothing). */
+    MissCurve operator+(const MissCurve &o) const;
+
+    /** Scales the whole curve by @p factor. */
+    MissCurve scaled(double factor) const;
+
+    /**
+     * Combines per-app curves into the best-achievable aggregate
+     * curve when capacity is divided optimally among them:
+     * combined[k] = min over {k_i, sum k_i = k} of sum_i curve_i[k_i].
+     * Exact for convex curves; we hull inputs first.
+     */
+    static MissCurve combineOptimal(const std::vector<MissCurve> &curves);
+
+  private:
+    std::vector<double> points_;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_DNUCA_MISS_CURVE_HH

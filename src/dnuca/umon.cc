@@ -1,0 +1,119 @@
+#include "src/dnuca/umon.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+namespace {
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+Umon::Umon(const UmonParams &params)
+    : params_(params),
+      stacks_(params.sets),
+      hitCounters_(params.ways, 0)
+{
+    if (params.sets == 0 || params.ways == 0)
+        fatal("Umon: sets and ways must be nonzero");
+    // The auxiliary directory holds sets*ways tags modelling
+    // modelledLines of capacity, so it samples at that ratio.
+    std::uint64_t tags = static_cast<std::uint64_t>(params.sets) *
+                         params.ways;
+    sampleRate_ = static_cast<double>(params.modelledLines) /
+                  static_cast<double>(std::max<std::uint64_t>(1, tags));
+    if (sampleRate_ < 1.0) sampleRate_ = 1.0;
+    for (auto &stack : stacks_) stack.reserve(params.ways);
+}
+
+bool
+Umon::sampled(LineAddr line) const
+{
+    // Hash-sample lines at 1/sampleRate. Using the line address (not
+    // the access) keeps a line's accesses consistently monitored.
+    std::uint64_t h = mix(line ^ 0x5bf03635ull);
+    auto rate = static_cast<std::uint64_t>(sampleRate_);
+    return (h % rate) == 0;
+}
+
+void
+Umon::access(LineAddr line)
+{
+    accesses_++;
+    if (!sampled(line)) return;
+    sampledAccesses_++;
+
+    auto set = static_cast<std::uint32_t>(mix(line) % params_.sets);
+    auto &stack = stacks_[set];
+
+    auto it = std::find(stack.begin(), stack.end(), line);
+    if (it != stack.end()) {
+        auto pos = static_cast<std::size_t>(it - stack.begin());
+        hitCounters_[pos]++;
+        stack.erase(it);
+        stack.insert(stack.begin(), line);
+    } else {
+        missCounter_++;
+        if (stack.size() >= params_.ways) stack.pop_back();
+        stack.insert(stack.begin(), line);
+    }
+}
+
+MissCurve
+Umon::missCurve() const
+{
+    // misses(k buckets) = cold/capacity misses beyond position k:
+    // missCounter_ + hits at recency positions >= k.
+    std::vector<double> pts(params_.ways + 1);
+    double tail = static_cast<double>(missCounter_);
+    pts[params_.ways] = tail;
+    for (std::int64_t k = params_.ways - 1; k >= 0; k--) {
+        tail += static_cast<double>(hitCounters_[k]);
+        pts[k] = tail;
+    }
+    for (double &p : pts) p *= sampleRate_;
+    return MissCurve(std::move(pts));
+}
+
+std::uint64_t
+Umon::linesPerBucket() const
+{
+    return std::max<std::uint64_t>(1, params_.modelledLines / params_.ways);
+}
+
+void
+Umon::decay(double factor)
+{
+    for (auto &h : hitCounters_)
+        h = static_cast<std::uint64_t>(static_cast<double>(h) * factor);
+    missCounter_ = static_cast<std::uint64_t>(
+        static_cast<double>(missCounter_) * factor);
+    sampledAccesses_ = static_cast<std::uint64_t>(
+        static_cast<double>(sampledAccesses_) * factor);
+    accesses_ = static_cast<std::uint64_t>(
+        static_cast<double>(accesses_) * factor);
+}
+
+void
+Umon::clear()
+{
+    std::fill(hitCounters_.begin(), hitCounters_.end(), 0);
+    missCounter_ = 0;
+    sampledAccesses_ = 0;
+    accesses_ = 0;
+    // Keep stack contents: the working set survives across epochs.
+}
+
+} // namespace jumanji

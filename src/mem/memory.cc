@@ -1,0 +1,89 @@
+#include "src/mem/memory.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+MemorySystem::MemorySystem(const MemoryParams &params,
+                           const MeshTopology &mesh)
+    : params_(params),
+      busyUntil_(std::max(1u, params.controllers)),
+      lcBusyUntil_(std::max(1u, params.controllers), 0)
+{
+    if (params.controllers == 0)
+        fatal("MemorySystem: need at least one controller");
+
+    // Controllers sit at the four corners (wrapping if fewer).
+    const auto &mp = mesh.params();
+    std::vector<std::uint32_t> corners = {
+        mesh.tileAt(0, 0),
+        mesh.tileAt(mp.cols - 1, 0),
+        mesh.tileAt(0, mp.rows - 1),
+        mesh.tileAt(mp.cols - 1, mp.rows - 1),
+    };
+    for (std::uint32_t mc = 0; mc < params.controllers; mc++)
+        cornerTiles_.push_back(corners[mc % corners.size()]);
+}
+
+std::uint32_t
+MemorySystem::controllerFor(LineAddr line) const
+{
+    // Interleave at line granularity with a mixed hash so that any
+    // single app's stream spreads over all controllers.
+    std::uint64_t x = line * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::uint32_t>((x >> 32) % params_.controllers);
+}
+
+std::uint32_t
+MemorySystem::controllerTile(std::uint32_t mc) const
+{
+    return cornerTiles_[mc % cornerTiles_.size()];
+}
+
+void
+MemorySystem::setActiveVms(std::uint32_t count)
+{
+    activeVms_ = std::max(1u, count);
+}
+
+MemAccessResult
+MemorySystem::access(Tick now, LineAddr line, VmId vm,
+                     bool latencyCritical)
+{
+    MemAccessResult result;
+    result.controller = controllerFor(line);
+
+    if (params_.partitionBandwidth && latencyCritical) {
+        // Reserved LC share: queues only behind other LC traffic.
+        Tick &busy = lcBusyUntil_[result.controller];
+        Tick grant = std::max(now, busy);
+        busy = grant + params_.serviceInterval;
+        result.queueDelay = grant - now;
+        result.latency = result.queueDelay + params_.accessLatency;
+        accesses_++;
+        queueCycles_ += result.queueDelay;
+        return result;
+    }
+
+    // With partitioning each VM owns a virtual queue served at its
+    // bandwidth share; without, all requests share one queue.
+    VmId queueKey = params_.partitionBandwidth ? vm : 0;
+    Tick interval = params_.serviceInterval;
+    if (params_.partitionBandwidth)
+        interval *= activeVms_;
+
+    Tick &busy = busyUntil_[result.controller][queueKey];
+    Tick grant = std::max(now, busy);
+    busy = grant + interval;
+
+    result.queueDelay = grant - now;
+    result.latency = result.queueDelay + params_.accessLatency;
+
+    accesses_++;
+    queueCycles_ += result.queueDelay;
+    return result;
+}
+
+} // namespace jumanji

@@ -1,0 +1,92 @@
+#include "src/noc/mesh.hh"
+
+#include <algorithm>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+MeshTopology::MeshTopology(const MeshParams &params)
+    : params_(params),
+      linkBusyUntil_(static_cast<std::size_t>(params.cols) *
+                         params.rows * 4,
+                     0)
+{
+    if (params.cols == 0 || params.rows == 0)
+        fatal("MeshTopology: mesh dimensions must be nonzero");
+}
+
+Tick
+MeshTopology::traverse(Tick start, std::uint32_t fromTile,
+                       std::uint32_t toTile, std::uint32_t flits)
+{
+    if (!params_.modelLinkContention)
+        return start + traversalLatency(hops(fromTile, toTile));
+
+    // Walk the X-Y route hop by hop, acquiring each directed link.
+    Tick now = start;
+    std::uint32_t x = xOf(fromTile), y = yOf(fromTile);
+    std::uint32_t tx = xOf(toTile), ty = yOf(toTile);
+    while (x != tx || y != ty) {
+        std::uint32_t tile = y * params_.cols + x;
+        std::uint32_t dir;
+        if (x < tx) { dir = 0; x++; }        // east
+        else if (x > tx) { dir = 1; x--; }   // west
+        else if (y < ty) { dir = 2; y++; }   // south
+        else { dir = 3; y--; }               // north
+
+        Tick &busy = linkBusyUntil_[linkIndex(tile, dir)];
+        Tick grant = std::max(now, busy);
+        linkWaitCycles_ += grant - now;
+        busy = grant + std::max<Tick>(1, flits);
+        now = grant + params_.routerDelay + params_.linkDelay;
+    }
+    return now;
+}
+
+std::uint32_t
+MeshTopology::hops(std::uint32_t fromTile, std::uint32_t toTile) const
+{
+    std::int64_t dx = static_cast<std::int64_t>(xOf(fromTile)) -
+                      static_cast<std::int64_t>(xOf(toTile));
+    std::int64_t dy = static_cast<std::int64_t>(yOf(fromTile)) -
+                      static_cast<std::int64_t>(yOf(toTile));
+    return static_cast<std::uint32_t>(std::llabs(dx) + std::llabs(dy));
+}
+
+Tick
+MeshTopology::traversalLatency(std::uint32_t hopCount) const
+{
+    return static_cast<Tick>(hopCount) *
+           (params_.routerDelay + params_.linkDelay);
+}
+
+Tick
+MeshTopology::roundTrip(std::uint32_t coreTile, std::uint32_t bankTile) const
+{
+    return 2 * traversalLatency(hops(coreTile, bankTile));
+}
+
+std::uint32_t
+MeshTopology::tileAt(std::uint32_t x, std::uint32_t y) const
+{
+    return std::min(y, params_.rows - 1) * params_.cols +
+           std::min(x, params_.cols - 1);
+}
+
+std::vector<std::uint32_t>
+MeshTopology::tilesByDistance(std::uint32_t fromTile) const
+{
+    std::vector<std::uint32_t> tiles(numTiles());
+    for (std::uint32_t t = 0; t < numTiles(); t++) tiles[t] = t;
+    std::stable_sort(tiles.begin(), tiles.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         std::uint32_t ha = hops(fromTile, a);
+                         std::uint32_t hb = hops(fromTile, b);
+                         if (ha != hb) return ha < hb;
+                         return a < b;
+                     });
+    return tiles;
+}
+
+} // namespace jumanji

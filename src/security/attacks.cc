@@ -1,0 +1,149 @@
+#include "src/security/attacks.hh"
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+std::vector<LineAddr>
+linesTargetingBank(LineAddr base, BankId bank, std::uint32_t banks,
+                   std::size_t count, std::size_t avoidLowLines)
+{
+    // Under a striped descriptor, slot s maps to bank s % banks; a
+    // line lands on `bank` iff slotFor(line) % banks == bank.
+    std::vector<LineAddr> lines;
+    LineAddr candidate = base + avoidLowLines;
+    while (lines.size() < count) {
+        std::uint32_t slot = PlacementDescriptor::slotFor(candidate);
+        if (static_cast<BankId>(slot % banks) == bank)
+            lines.push_back(candidate);
+        candidate++;
+        if (candidate - base > (count + avoidLowLines) * banks * 64)
+            panic("linesTargetingBank: hash never reached target bank");
+    }
+    return lines;
+}
+
+// ----------------------------------------------------- PortAttacker
+
+PortAttackerApp::PortAttackerApp(std::vector<LineAddr> lines,
+                                 std::uint32_t batch)
+    : lines_(std::move(lines)),
+      batch_(batch)
+{
+    if (lines_.empty()) fatal("PortAttackerApp: need attack lines");
+    if (batch_ == 0) fatal("PortAttackerApp: batch must be nonzero");
+    // The attacker is a tight pointer-chasing loop: minimal compute,
+    // fully exposed access latency.
+    traits_.baseIpc = 4.0;
+    traits_.stallFactor = 1.0;
+}
+
+AppStep
+PortAttackerApp::next(Tick now, Rng &)
+{
+    if (!started_) {
+        batchStart_ = now;
+        started_ = true;
+    }
+    LineAddr line = lines_[cursor_];
+    cursor_ = (cursor_ + 1) % lines_.size();
+    // One instruction of loop overhead per probe access.
+    return AppStep::execute(1, line);
+}
+
+void
+PortAttackerApp::onAccessComplete(Tick finish)
+{
+    inBatch_++;
+    if (inBatch_ < batch_) return;
+    double cycles = static_cast<double>(finish - batchStart_) /
+                    static_cast<double>(batch_);
+    trace_.push_back(AttackSample{finish, cycles});
+    inBatch_ = 0;
+    batchStart_ = finish;
+}
+
+// ---------------------------------------------------- ConflictProber
+
+ConflictProber::ConflictProber(std::vector<LineAddr> lines,
+                               const AccessOwner &owner)
+    : lines_(std::move(lines)),
+      owner_(owner)
+{
+    if (lines_.empty()) fatal("ConflictProber: need prime lines");
+}
+
+void
+ConflictProber::prime(CacheArray &array)
+{
+    for (LineAddr line : lines_) array.access(line, owner_);
+}
+
+std::uint64_t
+ConflictProber::probe(CacheArray &array)
+{
+    std::uint64_t evicted = 0;
+    for (LineAddr line : lines_) {
+        if (!array.contains(line)) evicted++;
+        // Re-prime as we probe, as real prime+probe loops do.
+        array.access(line, owner_);
+    }
+    return evicted;
+}
+
+// --------------------------------------------------- RotatingVictim
+
+RotatingVictimApp::RotatingVictimApp(
+    std::vector<std::vector<LineAddr>> linesPerBank, Tick dwellTicks,
+    Tick pauseTicks)
+    : linesPerBank_(std::move(linesPerBank)),
+      dwellTicks_(dwellTicks),
+      pauseTicks_(pauseTicks)
+{
+    if (linesPerBank_.empty())
+        fatal("RotatingVictimApp: need at least one bank's lines");
+    for (const auto &lines : linesPerBank_)
+        if (lines.empty())
+            fatal("RotatingVictimApp: every bank needs victim lines");
+}
+
+BankId
+RotatingVictimApp::currentBank() const
+{
+    if (pausing_) return kInvalidBank;
+    return static_cast<BankId>(bankIdx_);
+}
+
+AppStep
+RotatingVictimApp::next(Tick now, Rng &rng)
+{
+    if (!phaseInit_) {
+        phaseStart_ = now;
+        phaseInit_ = true;
+    }
+
+    if (pausing_) {
+        if (now < phaseStart_ + pauseTicks_)
+            return AppStep::idleUntil(phaseStart_ + pauseTicks_);
+        pausing_ = false;
+        phaseStart_ = now;
+        bankIdx_ = (bankIdx_ + 1) % linesPerBank_.size();
+        cursor_ = 0;
+    }
+
+    if (now >= phaseStart_ + dwellTicks_) {
+        pausing_ = true;
+        phaseStart_ = now;
+        return AppStep::idleUntil(now + pauseTicks_);
+    }
+
+    const auto &lines = linesPerBank_[bankIdx_];
+    LineAddr line = lines[cursor_];
+    cursor_ = (cursor_ + 1) % lines.size();
+    // Jittered loop overhead: a perfectly periodic victim would
+    // phase-lock around other periodic accessors and never contend;
+    // real code has variable work between accesses.
+    return AppStep::execute(1 + rng.below(4), line);
+}
+
+} // namespace jumanji

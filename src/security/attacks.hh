@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Attack applications for the security experiments.
+ *
+ *  - PortAttackerApp (Fig. 11): floods a target LLC bank with
+ *    accesses (a prime loop in the style of Liu et al. [48]) and
+ *    records the time to complete every `batch` accesses. Queueing
+ *    from a co-running victim raises its observed access times —
+ *    the LLC port side channel.
+ *  - RotatingVictimApp (Fig. 11): rotates through flooding every
+ *    bank in turn, pausing in between, producing the attack trace's
+ *    characteristic per-bank latency peaks. The victim uses
+ *    *different* cache sets than the attacker (distinct address
+ *    slices), so only port contention — not content — is shared.
+ */
+
+#ifndef JUMANJI_SECURITY_ATTACKS_HH
+#define JUMANJI_SECURITY_ATTACKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cache/cache_array.hh"
+#include "src/cpu/app_model.hh"
+#include "src/dnuca/vtb.hh"
+#include "src/sim/stats.hh"
+
+namespace jumanji {
+
+/**
+ * Generates line addresses whose descriptor hash maps to a chosen
+ * slot set, given a striped descriptor over @p banks banks. Used by
+ * attacker and victim to aim their floods at specific banks.
+ *
+ * @param base Address-space base for the generating app.
+ * @param bank Target bank under a striped descriptor.
+ * @param banks Total banks in the stripe.
+ * @param count Number of distinct lines wanted.
+ * @param avoid Lines to exclude (victim avoiding attacker's sets).
+ */
+std::vector<LineAddr> linesTargetingBank(LineAddr base, BankId bank,
+                                         std::uint32_t banks,
+                                         std::size_t count,
+                                         std::size_t avoidLowLines = 0);
+
+/** A (time, cyclesPerBatch) point in the attacker's trace. */
+struct AttackSample
+{
+    Tick when = 0;
+    double cyclesPerAccess = 0.0;
+};
+
+/**
+ * The port attacker: flood one bank, timestamping every batch.
+ */
+class PortAttackerApp : public AppModel
+{
+  public:
+    /**
+     * @param lines Attack lines (all mapping to the target bank).
+     * @param batch Accesses per timing measurement (paper: 100).
+     */
+    PortAttackerApp(std::vector<LineAddr> lines, std::uint32_t batch);
+
+    const std::string &name() const override { return name_; }
+    AppStep next(Tick now, Rng &rng) override;
+    void onAccessComplete(Tick finish) override;
+    const AppTraits &traits() const override { return traits_; }
+
+    const std::vector<AttackSample> &trace() const { return trace_; }
+
+  private:
+    std::string name_ = "port-attacker";
+    AppTraits traits_;
+    std::vector<LineAddr> lines_;
+    std::uint32_t batch_;
+
+    std::size_t cursor_ = 0;
+    std::uint32_t inBatch_ = 0;
+    Tick batchStart_ = 0;
+    bool started_ = false;
+    std::vector<AttackSample> trace_;
+};
+
+/**
+ * A prime+probe conflict prober (attack 1 in Fig. 10).
+ *
+ * The attacker primes the cache with its own lines, lets the victim
+ * run, then probes: re-accesses its lines and counts misses. When
+ * attacker and victim share cache sets (no partitioning), victim
+ * activity evicts primed lines and the probe misses reveal it; with
+ * way-partitioning or bank isolation, the probe is clean.
+ *
+ * This is a harness object (driven directly against a CacheArray /
+ * MemPath), not an AppModel: conflict attacks are about content, not
+ * timing, so no DES scheduling is needed to demonstrate them.
+ */
+class ConflictProber
+{
+  public:
+    /**
+     * @param lines The attacker's prime set.
+     * @param owner Identity the attacker's fills carry.
+     */
+    ConflictProber(std::vector<LineAddr> lines, const AccessOwner &owner);
+
+    /** Fills the cache with the prime set via @p access. */
+    void prime(CacheArray &array);
+
+    /**
+     * Probes: counts how many primed lines were evicted since the
+     * last prime.
+     *
+     * @return Evicted-line count — the attacker's signal. Zero means
+     *         the victim's activity was invisible (defended).
+     */
+    std::uint64_t probe(CacheArray &array);
+
+    const std::vector<LineAddr> &lines() const { return lines_; }
+
+  private:
+    std::vector<LineAddr> lines_;
+    AccessOwner owner_;
+};
+
+/**
+ * The rotating victim: floods each bank for a dwell period, then
+ * pauses, then moves to the next bank.
+ */
+class RotatingVictimApp : public AppModel
+{
+  public:
+    /**
+     * @param linesPerBank linesPerBank[b] are victim lines on bank b.
+     * @param dwellTicks Flood duration per bank.
+     * @param pauseTicks Idle gap between banks.
+     */
+    RotatingVictimApp(std::vector<std::vector<LineAddr>> linesPerBank,
+                      Tick dwellTicks, Tick pauseTicks);
+
+    const std::string &name() const override { return name_; }
+    AppStep next(Tick now, Rng &rng) override;
+    const AppTraits &traits() const override { return traits_; }
+
+    /** Bank currently being flooded (kInvalidBank while pausing). */
+    BankId currentBank() const;
+
+  private:
+    std::string name_ = "rotating-victim";
+    AppTraits traits_;
+    std::vector<std::vector<LineAddr>> linesPerBank_;
+    Tick dwellTicks_;
+    Tick pauseTicks_;
+
+    std::size_t bankIdx_ = 0;
+    std::size_t cursor_ = 0;
+    Tick phaseStart_ = 0;
+    bool pausing_ = false;
+    bool phaseInit_ = false;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_SECURITY_ATTACKS_HH

@@ -1,0 +1,7 @@
+#include "src/sim/event_queue.hh"
+
+// Header-only today; this TU anchors the vtable for Agent.
+
+namespace jumanji {
+
+} // namespace jumanji

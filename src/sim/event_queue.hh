@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The simulator is agent-based: each Agent (a core running an app, an
+ * attacker thread, the runtime's epoch timer) is resumed at its next
+ * wake-up tick and returns the tick at which it next wants to run.
+ * A binary heap orders agents by wake-up time; ties break by a stable
+ * sequence number so runs are deterministic.
+ */
+
+#ifndef JUMANJI_SIM_EVENT_QUEUE_HH
+#define JUMANJI_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/sim/types.hh"
+
+namespace jumanji {
+
+/**
+ * Something that executes at discrete ticks.
+ *
+ * resume() performs the agent's next unit of work (e.g., one memory
+ * access plus the compute burst before it) and returns the tick at
+ * which the agent should next be resumed, or kTickMax to retire.
+ */
+class Agent
+{
+  public:
+    virtual ~Agent() = default;
+
+    /**
+     * Runs the agent's next step.
+     *
+     * @param now The current simulated tick.
+     * @return The tick at which to resume this agent next;
+     *         kTickMax retires the agent permanently.
+     */
+    virtual Tick resume(Tick now) = 0;
+};
+
+/**
+ * The DES kernel: schedules agents and advances simulated time.
+ */
+class EventQueue
+{
+  public:
+    /** Registers @p agent to first run at @p when. Non-owning. */
+    void
+    schedule(Agent *agent, Tick when)
+    {
+        heap_.push(Entry{when, seq_++, agent});
+    }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** True when no agent remains scheduled. */
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Runs agents until simulated time reaches @p until or the queue
+     * drains. Agents scheduled exactly at @p until do not run.
+     *
+     * @return The tick at which execution stopped.
+     */
+    Tick
+    runUntil(Tick until)
+    {
+        while (!heap_.empty() && heap_.top().when < until) {
+            Entry e = heap_.top();
+            heap_.pop();
+            now_ = e.when;
+            Tick next = e.agent->resume(now_);
+            if (next != kTickMax) {
+                // Time must advance; a zero-delay self-loop would hang.
+                if (next <= now_) next = now_ + 1;
+                heap_.push(Entry{next, seq_++, e.agent});
+            }
+        }
+        if (now_ < until) now_ = until;
+        return now_;
+    }
+
+    /** Runs until the queue drains. */
+    Tick
+    runToCompletion()
+    {
+        return runUntil(kTickMax);
+    }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Agent *agent;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when) return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+    Tick now_ = 0;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic, seedable random number generation (xoshiro256**).
+ *
+ * All simulator randomness flows through Rng so that a full experiment
+ * is reproducible from (seed, config) alone.
+ */
+
+#ifndef JUMANJI_SIM_RNG_HH
+#define JUMANJI_SIM_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace jumanji {
+
+/**
+ * xoshiro256** generator. Small, fast, high quality; not
+ * cryptographic (we only drive workloads and sampling with it).
+ */
+class Rng
+{
+  public:
+    /** Seeds the generator via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free-enough reduction.
+        __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Exponential variate with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u >= 1.0) u = 0.999999999;
+        return -mean * std::log1p(-u);
+    }
+
+    /** True with probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Forks a child generator whose stream is decorrelated from the
+     * parent's; used to give each app / component its own stream.
+     */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_SIM_RNG_HH

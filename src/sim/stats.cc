@@ -1,0 +1,19 @@
+#include "src/sim/stats.hh"
+
+#include <sstream>
+
+namespace jumanji {
+
+std::string
+formatRow(const std::vector<std::string> &cells, std::size_t width)
+{
+    std::ostringstream oss;
+    for (const auto &cell : cells) {
+        std::string c = cell;
+        if (c.size() < width) c.append(width - c.size(), ' ');
+        oss << c << ' ';
+    }
+    return oss.str();
+}
+
+} // namespace jumanji

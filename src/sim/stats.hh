@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Lightweight statistics: counters, scalar gauges, streaming
+ * histograms with percentile queries, and a registry for reporting.
+ */
+
+#ifndef JUMANJI_SIM_STATS_HH
+#define JUMANJI_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jumanji {
+
+/**
+ * A reservoir of samples supporting percentile queries.
+ *
+ * Stores all samples (experiments are sized so this is cheap) and
+ * sorts lazily on query. Used for request latencies, access times, etc.
+ */
+class SampleStat
+{
+  public:
+    void
+    add(double v)
+    {
+        samples_.push_back(v);
+        sorted_ = false;
+    }
+
+    void
+    clear()
+    {
+        samples_.clear();
+        sorted_ = true;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /** Arithmetic mean; 0 if empty. */
+    double
+    mean() const
+    {
+        if (samples_.empty()) return 0.0;
+        double sum = 0.0;
+        for (double s : samples_) sum += s;
+        return sum / static_cast<double>(samples_.size());
+    }
+
+    double
+    max() const
+    {
+        if (samples_.empty()) return 0.0;
+        return *std::max_element(samples_.begin(), samples_.end());
+    }
+
+    double
+    min() const
+    {
+        if (samples_.empty()) return 0.0;
+        return *std::min_element(samples_.begin(), samples_.end());
+    }
+
+    /**
+     * The p-th percentile (0 <= p <= 100) using nearest-rank on the
+     * sorted samples; 0 if empty.
+     */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty()) return 0.0;
+        sort();
+        double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+        auto lo = static_cast<std::size_t>(rank);
+        std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+        double frac = rank - static_cast<double>(lo);
+        return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+    }
+
+    const std::vector<double> &raw() const { return samples_; }
+
+  private:
+    void
+    sort() const
+    {
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+    }
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** A fixed-bucket histogram for dense distributions (access times). */
+class Histogram
+{
+  public:
+    /** Buckets [lo, hi) split into @p buckets equal bins + overflow. */
+    Histogram(double lo, double hi, std::size_t buckets)
+        : lo_(lo), hi_(hi), counts_(buckets + 1, 0)
+    {
+    }
+
+    void
+    add(double v)
+    {
+        total_++;
+        if (v < lo_) { counts_.front()++; return; }
+        if (v >= hi_) { counts_.back()++; return; }
+        auto idx = static_cast<std::size_t>(
+            (v - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size() - 1));
+        counts_[idx]++;
+    }
+
+    std::uint64_t total() const { return total_; }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    double
+    bucketLow(std::size_t i) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+               static_cast<double>(counts_.size() - 1);
+    }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Per-component counters for data-movement accounting.
+ *
+ * Every memory access bumps some subset of these; the energy model
+ * (src/metrics) converts them to picojoules.
+ */
+struct AccessCounters
+{
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t nocHops = 0;
+    std::uint64_t memAccesses = 0;
+
+    AccessCounters &
+    operator+=(const AccessCounters &o)
+    {
+        l1Hits += o.l1Hits;
+        l1Misses += o.l1Misses;
+        l2Hits += o.l2Hits;
+        l2Misses += o.l2Misses;
+        llcHits += o.llcHits;
+        llcMisses += o.llcMisses;
+        nocHops += o.nocHops;
+        memAccesses += o.memAccesses;
+        return *this;
+    }
+};
+
+/** Formats a table row with fixed column widths for bench output. */
+std::string formatRow(const std::vector<std::string> &cells,
+                      std::size_t width = 14);
+
+} // namespace jumanji
+
+#endif // JUMANJI_SIM_STATS_HH

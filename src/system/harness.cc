@@ -1,0 +1,217 @@
+#include "src/system/harness.hh"
+
+#include <cstdlib>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+const DesignResult &
+MixResult::of(LlcDesign design) const
+{
+    for (const auto &d : designs)
+        if (d.design == design) return d;
+    fatal("MixResult::of: design not present");
+}
+
+ExperimentHarness::ExperimentHarness(const SystemConfig &base)
+    : base_(base)
+{
+}
+
+std::uint32_t
+ExperimentHarness::mixCountFromEnv(std::uint32_t fallback)
+{
+    const char *env = std::getenv("JUMANJI_MIXES");
+    if (env == nullptr) return fallback;
+    long value = std::strtol(env, nullptr, 10);
+    if (value <= 0) return fallback;
+    return static_cast<std::uint32_t>(value);
+}
+
+const LcCalibration &
+ExperimentHarness::calibrationFor(const std::string &lcName)
+{
+    auto it = calibrationCache_.find(lcName);
+    if (it != calibrationCache_.end()) return it->second;
+
+    WorkloadMix solo;
+    VmSpec vm;
+    vm.lcApps.push_back(lcName);
+    solo.vms.push_back(vm);
+
+    LcCalibration calib;
+
+    // Step 1: uncontended service time at the Static 4-way
+    // allocation, at 5% load so queueing is negligible.
+    {
+        SystemConfig cfg = base_;
+        cfg.design = LlcDesign::Static;
+        cfg.utilizationOverride = 0.05;
+        cfg.measureTicks *= 2;
+        System system(cfg, solo);
+        RunResult run = system.run();
+        for (const auto &app : run.apps) {
+            if (!app.latencyCritical) continue;
+            for (TailLatencyApp *tail : system.tailApps())
+                calib.serviceCycles = tail->latencies().mean();
+        }
+    }
+    if (calib.serviceCycles <= 0.0) {
+        warn("service calibration produced 0 for " + lcName +
+             "; falling back to the analytic nominal");
+        calib.serviceCycles = System::nominalServiceCycles(
+            tailAppParams(lcName), base_.nominalLlcLatency);
+    }
+
+    // Step 2 (Sec. VII): the deadline is the 95th-percentile latency
+    // running alone at *high* load with the fixed 4-way partition.
+    {
+        SystemConfig cfg = base_;
+        cfg.design = LlcDesign::Static;
+        cfg.load = LoadLevel::High;
+        // The deadline is a distribution tail; use a long window so
+        // it is stable across harness instances.
+        cfg.measureTicks *= 4;
+        LcCalibrationMap serviceOnly;
+        serviceOnly[lcName] = LcCalibration{calib.serviceCycles, 0.0};
+        System system(cfg, solo, serviceOnly);
+        RunResult run = system.run();
+        for (const auto &app : run.apps)
+            if (app.latencyCritical) calib.deadline = app.tailLatency;
+    }
+    if (calib.deadline <= 0.0) {
+        warn("deadline calibration produced 0 for " + lcName +
+             "; falling back to 5x service");
+        calib.deadline = 5.0 * calib.serviceCycles;
+    }
+    calib.deadline *= base_.deadlinePadding;
+
+    return calibrationCache_.emplace(lcName, calib).first->second;
+}
+
+LcCalibrationMap
+ExperimentHarness::calibrationsFor(const WorkloadMix &mix)
+{
+    LcCalibrationMap calibrations;
+    for (const auto &vm : mix.vms)
+        for (const auto &name : vm.lcApps)
+            calibrations[name] = calibrationFor(name);
+    return calibrations;
+}
+
+MixResult
+ExperimentHarness::runMix(const WorkloadMix &mix,
+                          const std::vector<LlcDesign> &designs,
+                          LoadLevel load)
+{
+    MixResult result;
+    result.mix = mix;
+
+    auto calibrations = calibrationsFor(mix);
+
+    // Static first: it is the normalization baseline.
+    SystemConfig staticCfg = base_;
+    staticCfg.design = LlcDesign::Static;
+    staticCfg.load = load;
+    System staticSystem(staticCfg, mix, calibrations);
+    RunResult staticRun = staticSystem.run();
+
+    {
+        DesignResult dr;
+        dr.design = LlcDesign::Static;
+        dr.batchSpeedup = 1.0;
+        dr.tailRatio = staticRun.worstTailRatio();
+        dr.meanTailRatio = staticRun.meanTailRatio();
+        dr.run = staticRun;
+        result.designs.push_back(std::move(dr));
+    }
+
+    for (LlcDesign design : designs) {
+        if (design == LlcDesign::Static) continue;
+        SystemConfig cfg = base_;
+        cfg.design = design;
+        cfg.load = load;
+        System system(cfg, mix, calibrations);
+        DesignResult dr;
+        dr.design = design;
+        dr.run = system.run();
+        dr.batchSpeedup = dr.run.batchWeightedSpeedup(staticRun);
+        dr.tailRatio = dr.run.worstTailRatio();
+        dr.meanTailRatio = dr.run.meanTailRatio();
+        result.designs.push_back(std::move(dr));
+    }
+    return result;
+}
+
+std::vector<MixResult>
+ExperimentHarness::sweep(const std::vector<std::string> &lcNames,
+                         std::uint32_t numMixes,
+                         const std::vector<LlcDesign> &designs,
+                         LoadLevel load)
+{
+    std::vector<MixResult> results;
+    for (std::uint32_t m = 0; m < numMixes; m++) {
+        SystemConfig cfg = base_;
+        cfg.seed = base_.seed + m * 1000003ull;
+        Rng mixRng(cfg.seed ^ 0x5eedull);
+        WorkloadMix mix = makeMix(lcNames, 4, 4, mixRng);
+
+        ExperimentHarness perMix(*this);
+        perMix.base_ = cfg;
+        perMix.calibrationCache_ = calibrationCache_;
+        results.push_back(perMix.runMix(mix, designs, load));
+        // Reuse calibrations discovered by the child.
+        calibrationCache_ = perMix.calibrationCache_;
+    }
+    return results;
+}
+
+std::map<LlcDesign, double>
+gmeanSpeedups(const std::vector<MixResult> &results)
+{
+    std::map<LlcDesign, std::vector<double>> byDesign;
+    for (const auto &mix : results)
+        for (const auto &d : mix.designs)
+            byDesign[d.design].push_back(d.batchSpeedup);
+
+    std::map<LlcDesign, double> out;
+    for (const auto &[design, values] : byDesign)
+        out[design] = gmean(values);
+    return out;
+}
+
+std::map<LlcDesign, double>
+worstTailRatios(const std::vector<MixResult> &results)
+{
+    std::map<LlcDesign, double> out;
+    for (const auto &mix : results) {
+        for (const auto &d : mix.designs) {
+            auto it = out.find(d.design);
+            if (it == out.end() || d.tailRatio > it->second)
+                out[d.design] = d.tailRatio;
+        }
+    }
+    return out;
+}
+
+std::map<LlcDesign, double>
+meanVulnerability(const std::vector<MixResult> &results)
+{
+    std::map<LlcDesign, std::vector<double>> byDesign;
+    for (const auto &mix : results)
+        for (const auto &d : mix.designs)
+            byDesign[d.design].push_back(d.run.attackersPerAccess);
+
+    std::map<LlcDesign, double> out;
+    for (const auto &[design, values] : byDesign) {
+        double sum = 0.0;
+        for (double v : values) sum += v;
+        out[design] = values.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(values.size());
+    }
+    return out;
+}
+
+} // namespace jumanji

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ExperimentHarness: the evaluation methodology of Sec. VII as
+ * reusable code — deadline calibration, per-design runs over random
+ * batch mixes, and normalization against the Static baseline.
+ */
+
+#ifndef JUMANJI_SYSTEM_HARNESS_HH
+#define JUMANJI_SYSTEM_HARNESS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/system/system.hh"
+
+namespace jumanji {
+
+/** Result of running one (mix, design) pair. */
+struct DesignResult
+{
+    LlcDesign design = LlcDesign::Static;
+    RunResult run;
+    /** Batch weighted speedup normalized to the Static run. */
+    double batchSpeedup = 1.0;
+    /** Worst LC tail / deadline across apps (1.0 = at deadline). */
+    double tailRatio = 0.0;
+    /** Mean LC tail / deadline across apps. */
+    double meanTailRatio = 0.0;
+};
+
+/** Everything measured for one workload mix. */
+struct MixResult
+{
+    WorkloadMix mix;
+    std::vector<DesignResult> designs;
+
+    const DesignResult &of(LlcDesign design) const;
+};
+
+/**
+ * The harness. LC apps are calibrated once per name and cached, in
+ * two steps mirroring Sec. VII:
+ *  1. service time: mean request latency running alone at very low
+ *     load with the Static 4-way partition (this defines what the
+ *     Table III "QPS" levels mean: low = 10%, high = 50% of the
+ *     app's service rate at that allocation);
+ *  2. deadline: the 95th-percentile latency running alone at *high*
+ *     load with the same fixed 4-way partition.
+ */
+class ExperimentHarness
+{
+  public:
+    explicit ExperimentHarness(const SystemConfig &base);
+
+    /** Calibrates (service, deadline) for @p lcName. Cached. */
+    const LcCalibration &calibrationFor(const std::string &lcName);
+
+    /** Calibration map covering @p mix's LC apps. */
+    LcCalibrationMap calibrationsFor(const WorkloadMix &mix);
+
+    /**
+     * Runs @p mix under every design in @p designs (Static is always
+     * run first as the normalization baseline).
+     */
+    MixResult runMix(const WorkloadMix &mix,
+                     const std::vector<LlcDesign> &designs,
+                     LoadLevel load);
+
+    /**
+     * The paper's standard sweep: @p numMixes random batch mixes for
+     * a given LC-app selection, at @p load.
+     */
+    std::vector<MixResult> sweep(const std::vector<std::string> &lcNames,
+                                 std::uint32_t numMixes,
+                                 const std::vector<LlcDesign> &designs,
+                                 LoadLevel load);
+
+    const SystemConfig &baseConfig() const { return base_; }
+    SystemConfig &mutableBaseConfig() { return base_; }
+
+    /** Env-var override: JUMANJI_MIXES trims mix counts for CI. */
+    static std::uint32_t mixCountFromEnv(std::uint32_t fallback);
+
+  private:
+    SystemConfig base_;
+    LcCalibrationMap calibrationCache_;
+};
+
+/** Aggregates gmean batch speedups per design across mixes. */
+std::map<LlcDesign, double>
+gmeanSpeedups(const std::vector<MixResult> &results);
+
+/** Aggregates the worst tail ratio per design across mixes. */
+std::map<LlcDesign, double>
+worstTailRatios(const std::vector<MixResult> &results);
+
+/** Aggregates mean attackers-per-access per design across mixes. */
+std::map<LlcDesign, double>
+meanVulnerability(const std::vector<MixResult> &results);
+
+} // namespace jumanji
+
+#endif // JUMANJI_SYSTEM_HARNESS_HH

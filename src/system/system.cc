@@ -1,0 +1,435 @@
+#include "src/system/system.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/sim/logging.hh"
+#include "src/workloads/spec_like.hh"
+
+namespace jumanji {
+
+namespace {
+
+/** Scales working-set footprints by the config's capacityScale. */
+std::vector<WorkingSet>
+scaleWorkingSets(const std::vector<WorkingSet> &sets, double scale)
+{
+    std::vector<WorkingSet> scaled = sets;
+    if (scale == 1.0) return scaled;
+    for (auto &ws : scaled) {
+        if (ws.streaming) continue;
+        ws.lines = std::max<std::uint64_t>(
+            16, static_cast<std::uint64_t>(
+                    static_cast<double>(ws.lines) * scale));
+    }
+    return scaled;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ Sampler
+
+/**
+ * An epoch-rate agent that snapshots the vulnerability metric and the
+ * per-LC-app latency window, producing the Fig. 4 timelines.
+ */
+class System::Sampler : public Agent
+{
+  public:
+    Sampler(System *sys, Tick period) : sys_(sys), period_(period) {}
+
+    Tick
+    resume(Tick now) override
+    {
+        MemPath &path = sys_->memPath();
+        sys_->vulnTimeline_.push_back(path.avgAttackersPerAccess());
+        path.clearVulnerabilityStats();
+
+        for (TailLatencyApp *app : sys_->tailApps()) {
+            auto &series = sys_->latencyTimeline_[app->name()];
+            const auto &window = lastWindow_[app];
+            const auto &all = app->latencies().raw();
+            double mean = 0.0;
+            std::size_t n = all.size() > window ? all.size() - window : 0;
+            for (std::size_t i = window; i < all.size(); i++)
+                mean += all[i];
+            if (n > 0) mean /= static_cast<double>(n);
+            series.push_back(mean);
+            lastWindow_[app] = all.size();
+        }
+        return now + period_;
+    }
+
+  private:
+    System *sys_;
+    Tick period_;
+    std::map<TailLatencyApp *, std::size_t> lastWindow_;
+};
+
+// ------------------------------------------------------------- System
+
+System::~System() = default;
+
+double
+System::nominalServiceCycles(const TailAppParams &params,
+                             double llcLatency)
+{
+    double computeCycles = static_cast<double>(params.instrsPerRequest) /
+                           params.traits.baseIpc;
+    double accesses = static_cast<double>(params.instrsPerRequest) *
+                      params.apki / 1000.0;
+    double stall = accesses * llcLatency * params.traits.stallFactor;
+    return computeCycles + stall;
+}
+
+System::System(const SystemConfig &config, const WorkloadMix &mix,
+               const LcCalibrationMap &calibrations)
+    : config_(config),
+      rootRng_(config.seed)
+{
+    path_ = std::make_unique<MemPath>(config_.llc, config_.mesh,
+                                      config_.mem, config_.umon,
+                                      config_.seed);
+
+    auto policy = LlcPolicy::create(config_.design);
+    bool wantsIdeal = policy->wantsIdealBatchLlc();
+    if (wantsIdeal) {
+        idealBatchPath_ = std::make_unique<MemPath>(
+            config_.llc, config_.mesh, config_.mem, config_.umon,
+            config_.seed ^ 0xabcdef);
+    }
+
+    path_->memory().setActiveVms(
+        static_cast<std::uint32_t>(mix.vms.size()));
+    if (idealBatchPath_) {
+        idealBatchPath_->memory().setActiveVms(
+            static_cast<std::uint32_t>(mix.vms.size()));
+    }
+
+    runtime_ = std::make_unique<RuntimeDriver>(
+        std::move(policy), path_.get(), idealBatchPath_.get(),
+        config_.placementGeometry(), config_.epochTicks);
+
+    assignTiles(mix);
+    buildApps(mix, calibrations);
+
+    if (config_.fixedLcTargetLines > 0)
+        runtime_->setFixedLcTarget(config_.fixedLcTargetLines);
+    runtime_->setHullCurves(config_.hullCurves);
+    runtime_->setRateNormalize(config_.rateNormalizeCurves);
+    path_->setMigrateOnReconfig(config_.migrateOnReconfig);
+    if (idealBatchPath_)
+        idealBatchPath_->setMigrateOnReconfig(config_.migrateOnReconfig);
+
+    // Initial placement before any app runs, then steady epochs.
+    runtime_->reconfigureNow(0);
+    queue_.schedule(runtime_.get(), config_.epochTicks);
+
+    sampler_ = std::make_unique<Sampler>(this, config_.epochTicks);
+    queue_.schedule(sampler_.get(), config_.epochTicks);
+
+    for (auto &core : cores_) queue_.schedule(core.get(), 0);
+}
+
+void
+System::assignTiles(const WorkloadMix &mix)
+{
+    const std::uint32_t tiles = config_.mesh.cols * config_.mesh.rows;
+    if (mix.totalApps() > tiles)
+        fatal("System: more apps than cores/tiles");
+
+    MeshTopology mesh(config_.mesh);
+
+    // Anchor each VM at a spread-out tile: corners first, then the
+    // tiles farthest from every existing anchor.
+    std::vector<std::uint32_t> anchors;
+    std::vector<std::uint32_t> corners = {
+        mesh.tileAt(0, 0),
+        mesh.tileAt(config_.mesh.cols - 1, config_.mesh.rows - 1),
+        mesh.tileAt(config_.mesh.cols - 1, 0),
+        mesh.tileAt(0, config_.mesh.rows - 1),
+    };
+    for (std::size_t v = 0; v < mix.vms.size(); v++) {
+        if (v < corners.size()) {
+            anchors.push_back(corners[v]);
+            continue;
+        }
+        std::uint32_t best = 0;
+        std::uint32_t bestDist = 0;
+        for (std::uint32_t t = 0; t < tiles; t++) {
+            std::uint32_t nearest = ~0u;
+            for (std::uint32_t a : anchors)
+                nearest = std::min(nearest, mesh.hops(t, a));
+            if (nearest != ~0u && nearest >= bestDist) {
+                if (nearest > bestDist ||
+                    std::find(anchors.begin(), anchors.end(), t) ==
+                        anchors.end()) {
+                    bestDist = nearest;
+                    best = t;
+                }
+            }
+        }
+        anchors.push_back(best);
+    }
+
+    // Deal tiles: VM by VM, LC apps first (they sit on the anchor,
+    // i.e. the corner, as in Fig. 2a), then batch apps nearby.
+    std::vector<bool> taken(tiles, false);
+    auto takeNearest = [&](std::uint32_t anchor) {
+        for (std::uint32_t t : mesh.tilesByDistance(anchor)) {
+            if (!taken[t]) {
+                taken[t] = true;
+                return t;
+            }
+        }
+        fatal("System: ran out of tiles");
+        return 0u;
+    };
+
+    for (std::size_t v = 0; v < mix.vms.size(); v++) {
+        const VmSpec &vm = mix.vms[v];
+        for (const auto &name : vm.lcApps) {
+            AppSlot slot;
+            slot.name = name;
+            slot.vm = static_cast<VmId>(v);
+            slot.latencyCritical = true;
+            slot.tile = takeNearest(anchors[v]);
+            slots_.push_back(slot);
+        }
+        for (const auto &name : vm.batchApps) {
+            AppSlot slot;
+            slot.name = name;
+            slot.vm = static_cast<VmId>(v);
+            slot.latencyCritical = false;
+            slot.tile = takeNearest(anchors[v]);
+            slots_.push_back(slot);
+        }
+    }
+}
+
+void
+System::buildApps(const WorkloadMix &,
+                  const LcCalibrationMap &calibrations)
+{
+    double util = config_.utilizationOverride > 0.0
+                      ? config_.utilizationOverride
+                      : loadUtilization(config_.load);
+
+    for (std::size_t i = 0; i < slots_.size(); i++) {
+        AppSlot &slot = slots_[i];
+        auto appId = static_cast<AppId>(i);
+        auto vcId = static_cast<VcId>(i);
+
+        std::unique_ptr<AppModel> app;
+        double deadline = 0.0;
+
+        if (slot.latencyCritical) {
+            TailAppParams params = tailAppParams(slot.name);
+            params.workingSets = scaleWorkingSets(
+                params.workingSets, config_.capacityScale);
+            double service = nominalServiceCycles(
+                params, config_.nominalLlcLatency);
+            double deadlineDefault = 5.0 * service;
+            auto it = calibrations.find(slot.name);
+            if (it != calibrations.end()) {
+                if (it->second.serviceCycles > 0.0)
+                    service = it->second.serviceCycles;
+                if (it->second.deadline > 0.0)
+                    deadlineDefault = it->second.deadline;
+            }
+            double interarrival = service / util;
+
+            auto tailApp = std::make_unique<TailLatencyApp>(
+                params, appId, interarrival,
+                Rng(config_.seed * 7919 + i * 13 + 1));
+
+            deadline = deadlineDefault;
+            slot.deadline = deadline;
+
+            // Listing 1: request completions feed the controller.
+            RuntimeDriver *rt = runtime_.get();
+            tailApp->setCompletionListener(
+                [rt, vcId](Tick, double latency) {
+                    rt->requestCompleted(vcId, latency);
+                });
+            app = std::move(tailApp);
+        }
+
+        double nominalRate = 0.0;
+        if (!slot.latencyCritical) {
+            SpecAppParams params = specAppParams(slot.name);
+            params.workingSets = scaleWorkingSets(
+                params.workingSets, config_.capacityScale);
+            nominalRate = params.apki / 1000.0 * params.traits.baseIpc;
+            app = std::make_unique<SpecLikeApp>(params, appId);
+        }
+
+        RuntimeAppInfo info;
+        info.vc = vcId;
+        info.app = appId;
+        info.vm = slot.vm;
+        info.coreTile = slot.tile;
+        info.latencyCritical = slot.latencyCritical;
+        info.name = slot.name;
+        info.nominalAccessesPerCycle = nominalRate;
+        runtime_->registerApp(info, config_.controller, deadline);
+
+        AccessOwner owner;
+        owner.app = appId;
+        owner.vc = vcId;
+        owner.vm = slot.vm;
+        owner.latencyCritical = slot.latencyCritical;
+
+        MemPath *corePath = path_.get();
+        if (idealBatchPath_ && !slot.latencyCritical)
+            corePath = idealBatchPath_.get();
+
+        cores_.push_back(std::make_unique<CoreModel>(
+            static_cast<CoreId>(slot.tile), owner, app.get(), corePath,
+            Rng(config_.seed * 104729 + i * 31 + 7)));
+        apps_.push_back(std::move(app));
+    }
+}
+
+void
+System::migrateApp(std::size_t appIndex, std::uint32_t newTile)
+{
+    if (appIndex >= cores_.size())
+        fatal("System::migrateApp: app index out of range");
+    for (std::size_t i = 0; i < slots_.size(); i++) {
+        if (i != appIndex && slots_[i].tile == newTile)
+            fatal("System::migrateApp: target tile is occupied");
+    }
+    slots_[appIndex].tile = newTile;
+    cores_[appIndex]->setTile(static_cast<CoreId>(newTile));
+    runtime_->migrateApp(static_cast<VcId>(appIndex), newTile);
+}
+
+std::vector<TailLatencyApp *>
+System::tailApps()
+{
+    std::vector<TailLatencyApp *> result;
+    for (auto &app : apps_) {
+        if (auto *tail = dynamic_cast<TailLatencyApp *>(app.get()))
+            result.push_back(tail);
+    }
+    return result;
+}
+
+void
+System::runUntil(Tick tick)
+{
+    queue_.runUntil(tick);
+}
+
+void
+System::startMeasurement()
+{
+    measureStart_ = queue_.now();
+    for (auto &core : cores_) core->resetAccounting();
+    for (TailLatencyApp *app : tailApps()) app->mutableLatencies().clear();
+    path_->clearVulnerabilityStats();
+    if (idealBatchPath_) idealBatchPath_->clearVulnerabilityStats();
+}
+
+RunResult
+System::collect()
+{
+    RunResult result;
+    result.measuredTicks = queue_.now() - measureStart_;
+    result.reconfigurations = runtime_->reconfigurations();
+    result.coherenceInvalidations = runtime_->totalInvalidations();
+
+    double attackerSum = path_->avgAttackersPerAccess() *
+                         static_cast<double>(path_->llcAccesses());
+    std::uint64_t accessCount = path_->llcAccesses();
+    if (idealBatchPath_) {
+        attackerSum += idealBatchPath_->avgAttackersPerAccess() *
+                       static_cast<double>(idealBatchPath_->llcAccesses());
+        accessCount += idealBatchPath_->llcAccesses();
+    }
+    result.attackersPerAccess =
+        accessCount == 0 ? 0.0
+                         : attackerSum / static_cast<double>(accessCount);
+
+    for (std::size_t i = 0; i < cores_.size(); i++) {
+        const AppSlot &slot = slots_[i];
+        AppResult ar;
+        ar.name = slot.name;
+        ar.app = static_cast<AppId>(i);
+        ar.vm = slot.vm;
+        ar.latencyCritical = slot.latencyCritical;
+        ar.progress.instrs = cores_[i]->instrsRetired();
+        ar.progress.cycles = result.measuredTicks;
+        ar.counters = cores_[i]->counters();
+        std::uint64_t accesses = ar.counters.llcHits +
+                                 ar.counters.llcMisses;
+        double stallFactor = apps_[i]->traits().stallFactor;
+        if (accesses > 0 && stallFactor > 0.0) {
+            ar.avgAccessLatency =
+                static_cast<double>(cores_[i]->stallCycles()) /
+                stallFactor / static_cast<double>(accesses);
+        }
+        if (slot.latencyCritical) {
+            auto *tail = dynamic_cast<TailLatencyApp *>(apps_[i].get());
+            if (tail != nullptr) {
+                ar.tailLatency = tail->latencies().percentile(95.0);
+                ar.requestsCompleted = tail->latencies().count();
+            }
+            ar.deadline = slot.deadline;
+        }
+        result.energy += dataMovementEnergy(ar.counters);
+        result.apps.push_back(std::move(ar));
+    }
+    return result;
+}
+
+RunResult
+System::run()
+{
+    runUntil(config_.warmupTicks);
+    startMeasurement();
+    runUntil(config_.warmupTicks + config_.measureTicks);
+    return collect();
+}
+
+double
+RunResult::batchWeightedSpeedup(const RunResult &reference) const
+{
+    std::vector<AppProgress> mix;
+    std::vector<AppProgress> ref;
+    for (std::size_t i = 0; i < apps.size() && i < reference.apps.size();
+         i++) {
+        if (apps[i].latencyCritical) continue;
+        mix.push_back(apps[i].progress);
+        ref.push_back(reference.apps[i].progress);
+    }
+    if (mix.empty()) return 1.0;
+    return weightedSpeedup(mix, ref);
+}
+
+double
+RunResult::worstTailRatio() const
+{
+    double worst = 0.0;
+    for (const auto &app : apps) {
+        if (!app.latencyCritical || app.deadline <= 0.0) continue;
+        worst = std::max(worst, app.tailLatency / app.deadline);
+    }
+    return worst;
+}
+
+double
+RunResult::meanTailRatio() const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &app : apps) {
+        if (!app.latencyCritical || app.deadline <= 0.0) continue;
+        sum += app.tailLatency / app.deadline;
+        n++;
+    }
+    return n == 0 ? 0.0 : sum / n;
+}
+
+} // namespace jumanji

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * System: assembles a full simulated machine — cores, apps, the LLC
+ * complex (MemPath), the runtime, and the DES kernel — from a
+ * SystemConfig and a WorkloadMix, runs it, and exposes results.
+ *
+ * This is the library's primary entry point; see examples/ for use.
+ */
+
+#ifndef JUMANJI_SYSTEM_SYSTEM_HH
+#define JUMANJI_SYSTEM_SYSTEM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/runtime_driver.hh"
+#include "src/cpu/core_model.hh"
+#include "src/metrics/energy.hh"
+#include "src/metrics/speedup.hh"
+#include "src/sim/event_queue.hh"
+#include "src/system/config.hh"
+#include "src/workloads/mixes.hh"
+#include "src/workloads/tail_latency.hh"
+
+namespace jumanji {
+
+/** Per-application results over the measurement window. */
+struct AppResult
+{
+    std::string name;
+    AppId app = kInvalidApp;
+    VmId vm = kInvalidVm;
+    bool latencyCritical = false;
+    AppProgress progress;
+    AccessCounters counters;
+    /** Mean end-to-end LLC access latency observed (cycles). */
+    double avgAccessLatency = 0.0;
+    /** LC apps: 95th-percentile request latency (cycles). */
+    double tailLatency = 0.0;
+    /** LC apps: deadline used by the controller (cycles). */
+    double deadline = 0.0;
+    std::uint64_t requestsCompleted = 0;
+};
+
+/** Calibrated characteristics of one LC app (Sec. VII). */
+struct LcCalibration
+{
+    /** Uncontended mean service time, cycles (sets arrival rates). */
+    double serviceCycles = 0.0;
+    /** Tail-latency deadline, cycles. */
+    double deadline = 0.0;
+};
+
+using LcCalibrationMap = std::map<std::string, LcCalibration>;
+
+/** Results of one System run. */
+struct RunResult
+{
+    std::vector<AppResult> apps;
+    double attackersPerAccess = 0.0;
+    EnergyBreakdown energy;
+    Tick measuredTicks = 0;
+    std::uint64_t reconfigurations = 0;
+    std::uint64_t coherenceInvalidations = 0;
+
+    /** Weighted speedup of batch apps vs. a reference run. */
+    double batchWeightedSpeedup(const RunResult &reference) const;
+
+    /** Max over LC apps of tail / deadline. */
+    double worstTailRatio() const;
+
+    /** Mean over LC apps of tail / deadline (less estimator noise). */
+    double meanTailRatio() const;
+};
+
+/**
+ * A fully assembled simulated machine.
+ */
+class System
+{
+  public:
+    /**
+     * @param config System parameters.
+     * @param mix Workload (VMs with LC + batch apps).
+     * @param calibrations Per-LC-app-name measured service times and
+     *        deadlines. Apps missing from the map fall back to the
+     *        analytic nominal service estimate and a 5x-nominal
+     *        deadline (good enough for tests; the harness always
+     *        calibrates).
+     */
+    System(const SystemConfig &config, const WorkloadMix &mix,
+           const LcCalibrationMap &calibrations = {});
+
+    ~System();
+
+    /** Runs warmup + measurement; returns results. */
+    RunResult run();
+
+    /** Runs only until @p tick (manual control; tests). */
+    void runUntil(Tick tick);
+
+    /** Begins the measurement window at the current time. */
+    void startMeasurement();
+
+    /** Collects results since startMeasurement(). */
+    RunResult collect();
+
+    /** Nominal (uncontended) service time for an LC app, cycles. */
+    static double nominalServiceCycles(const TailAppParams &params,
+                                       double llcLatency);
+
+    MemPath &memPath() { return *path_; }
+    RuntimeDriver &runtime() { return *runtime_; }
+    EventQueue &queue() { return queue_; }
+    const SystemConfig &config() const { return config_; }
+
+    /** The epoch-by-epoch allocation timeline (Fig. 4b). */
+    const std::vector<EpochRecord> &
+    allocationTimeline() const
+    {
+        return runtime_->timeline();
+    }
+
+    /** Per-epoch attackers-per-access samples (Fig. 4c). */
+    const std::vector<double> &
+    vulnerabilityTimeline() const
+    {
+        return vulnTimeline_;
+    }
+
+    /** Per-epoch mean LC latency samples per LC app (Fig. 4a). */
+    const std::map<std::string, std::vector<double>> &
+    latencyTimeline() const
+    {
+        return latencyTimeline_;
+    }
+
+    /** Cores, in app order. */
+    const std::vector<std::unique_ptr<CoreModel>> &
+    cores() const
+    {
+        return cores_;
+    }
+
+    /** The LC app models (for load changes etc.). */
+    std::vector<TailLatencyApp *> tailApps();
+
+    /**
+     * Migrates app @p appIndex's thread to @p newTile (Sec. IV-B).
+     * The core agent is re-anchored and the runtime is informed so
+     * the next reconfiguration moves the LLC allocation along with
+     * the thread. @p newTile must not host another app.
+     */
+    void migrateApp(std::size_t appIndex, std::uint32_t newTile);
+
+  private:
+    /** Epoch bookkeeping agent (timelines). */
+    class Sampler;
+
+    void assignTiles(const WorkloadMix &mix);
+    void buildApps(const WorkloadMix &mix,
+                   const LcCalibrationMap &calibrations);
+
+    SystemConfig config_;
+    EventQueue queue_;
+    std::unique_ptr<MemPath> path_;
+    std::unique_ptr<MemPath> idealBatchPath_;
+    std::unique_ptr<RuntimeDriver> runtime_;
+    std::unique_ptr<Sampler> sampler_;
+
+    struct AppSlot
+    {
+        std::string name;
+        VmId vm = kInvalidVm;
+        bool latencyCritical = false;
+        std::uint32_t tile = 0;
+        double deadline = 0.0;
+    };
+    std::vector<AppSlot> slots_;
+    std::vector<std::unique_ptr<AppModel>> apps_;
+    std::vector<std::unique_ptr<CoreModel>> cores_;
+
+    Tick measureStart_ = 0;
+    AccessCounters countersAtStart_;
+    std::vector<double> vulnTimeline_;
+    std::map<std::string, std::vector<double>> latencyTimeline_;
+
+    Rng rootRng_;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_SYSTEM_SYSTEM_HH

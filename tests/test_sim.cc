@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the DES kernel, RNG, and statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_queue.hh"
+#include "src/sim/logging.hh"
+#include "src/sim/rng.hh"
+#include "src/sim/stats.hh"
+
+namespace jumanji {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next()) same++;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; i++) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, ExponentialMeanApprox)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) sum += rng.exponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 5.0);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(5);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (parent.next() == child.next()) same++;
+    EXPECT_LT(same, 3);
+}
+
+class CountingAgent : public Agent
+{
+  public:
+    explicit CountingAgent(Tick period, int maxRuns = -1)
+        : period_(period), maxRuns_(maxRuns)
+    {
+    }
+
+    Tick
+    resume(Tick now) override
+    {
+        runs++;
+        lastTick = now;
+        if (maxRuns_ >= 0 && runs >= maxRuns_) return kTickMax;
+        return now + period_;
+    }
+
+    int runs = 0;
+    Tick lastTick = 0;
+
+  private:
+    Tick period_;
+    int maxRuns_;
+};
+
+TEST(EventQueue, RunsAgentsInOrder)
+{
+    EventQueue queue;
+    CountingAgent fast(10);
+    CountingAgent slow(100);
+    queue.schedule(&fast, 0);
+    queue.schedule(&slow, 0);
+    queue.runUntil(1000);
+    EXPECT_EQ(fast.runs, 100);
+    EXPECT_EQ(slow.runs, 10);
+}
+
+TEST(EventQueue, StopsAtBoundary)
+{
+    EventQueue queue;
+    CountingAgent agent(10);
+    queue.schedule(&agent, 0);
+    queue.runUntil(55);
+    // Runs at 0,10,20,30,40,50 — not at 60.
+    EXPECT_EQ(agent.runs, 6);
+    EXPECT_EQ(queue.now(), 55u);
+}
+
+TEST(EventQueue, RetiredAgentStops)
+{
+    EventQueue queue;
+    CountingAgent agent(10, 3);
+    queue.schedule(&agent, 5);
+    queue.runUntil(10000);
+    EXPECT_EQ(agent.runs, 3);
+}
+
+TEST(EventQueue, ZeroDelaySelfLoopAdvances)
+{
+    // An agent returning its own wake time must still make progress.
+    class Stubborn : public Agent
+    {
+      public:
+        Tick
+        resume(Tick now) override
+        {
+            runs++;
+            return runs < 10 ? now : kTickMax;
+        }
+        int runs = 0;
+    };
+    EventQueue queue;
+    Stubborn agent;
+    queue.schedule(&agent, 0);
+    queue.runUntil(1000);
+    EXPECT_EQ(agent.runs, 10);
+}
+
+TEST(EventQueue, DeterministicTieBreak)
+{
+    // Two agents scheduled at the same tick run in schedule order.
+    class Recorder : public Agent
+    {
+      public:
+        Recorder(std::vector<int> *log, int id) : log_(log), id_(id) {}
+        Tick
+        resume(Tick) override
+        {
+            log_->push_back(id_);
+            return kTickMax;
+        }
+
+      private:
+        std::vector<int> *log_;
+        int id_;
+    };
+
+    std::vector<int> log;
+    Recorder a(&log, 1), b(&log, 2), c(&log, 3);
+    EventQueue queue;
+    queue.schedule(&a, 50);
+    queue.schedule(&b, 50);
+    queue.schedule(&c, 50);
+    queue.runUntil(100);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SampleStat, PercentilesSorted)
+{
+    SampleStat stat;
+    for (int i = 100; i >= 1; i--) stat.add(i);
+    EXPECT_DOUBLE_EQ(stat.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(stat.percentile(100), 100.0);
+    EXPECT_NEAR(stat.percentile(50), 50.5, 0.01);
+    EXPECT_NEAR(stat.percentile(95), 95.05, 0.1);
+}
+
+TEST(SampleStat, EmptyIsZero)
+{
+    SampleStat stat;
+    EXPECT_EQ(stat.percentile(95), 0.0);
+    EXPECT_EQ(stat.mean(), 0.0);
+    EXPECT_EQ(stat.count(), 0u);
+}
+
+TEST(SampleStat, MeanMinMax)
+{
+    SampleStat stat;
+    stat.add(2.0);
+    stat.add(4.0);
+    stat.add(9.0);
+    EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.add(5.0);
+    h.add(95.0);
+    h.add(1000.0); // overflow
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    EXPECT_THROW(panic("bug"), PanicError);
+}
+
+TEST(AccessCounters, Accumulate)
+{
+    AccessCounters a, b;
+    a.llcHits = 5;
+    b.llcHits = 7;
+    b.nocHops = 3;
+    a += b;
+    EXPECT_EQ(a.llcHits, 12u);
+    EXPECT_EQ(a.nocHops, 3u);
+}
+
+} // namespace
+} // namespace jumanji

@@ -1,0 +1,60 @@
+// Scratch: dump Jumanji vs Insecure allocation decisions per epoch.
+#include <cstdio>
+
+#include "src/sim/logging.hh"
+#include "src/system/harness.hh"
+
+using namespace jumanji;
+
+int
+main()
+{
+    setQuiet(true);
+    SystemConfig cfg = SystemConfig::benchScaled();
+    cfg.seed = 1;
+    Rng rng(1);
+    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
+
+    ExperimentHarness harness(cfg);
+    auto calib = harness.calibrationsFor(mix);
+
+    for (LlcDesign d : {LlcDesign::Jumanji, LlcDesign::JumanjiInsecure}) {
+        SystemConfig c = cfg;
+        c.design = d;
+        c.load = LoadLevel::High;
+        System sys(c, mix, calib);
+        RunResult run = sys.run();
+
+        std::printf("==== %s ====\n", llcDesignName(d));
+        const auto &tl = sys.allocationTimeline();
+        // Print last-epoch allocation for every VC, grouped by VM.
+        const auto &last = tl.back();
+        std::uint64_t lcTotal = 0, batchTotal = 0;
+        for (std::size_t i = 0; i < run.apps.size(); i++) {
+            const auto &app = run.apps[i];
+            auto it = last.allocLines.find(static_cast<VcId>(i));
+            std::uint64_t lines = it == last.allocLines.end() ? 0
+                                                              : it->second;
+            if (app.latencyCritical) lcTotal += lines;
+            else batchTotal += lines;
+            double hit = 100.0 * static_cast<double>(app.counters.llcHits) /
+                         static_cast<double>(app.counters.llcHits +
+                                             app.counters.llcMisses);
+            std::printf("  vm%d %-16s %s alloc=%6llu hit%%=%5.1f "
+                        "ipc=%.3f lat=%.0f\n",
+                        app.vm, app.name.c_str(),
+                        app.latencyCritical ? "LC" : "B ",
+                        static_cast<unsigned long long>(lines), hit,
+                        app.progress.ipc(), app.avgAccessLatency);
+        }
+        std::printf("  totals: LC=%llu batch=%llu of %llu\n",
+                    static_cast<unsigned long long>(lcTotal),
+                    static_cast<unsigned long long>(batchTotal),
+                    static_cast<unsigned long long>(
+                        cfg.placementGeometry().totalLines()));
+        std::printf("  invalidations total: %llu\n",
+                    static_cast<unsigned long long>(
+                        run.coherenceInvalidations));
+    }
+    return 0;
+}

@@ -1,0 +1,99 @@
+// Developer scratch harness: dumps per-design internals for one mix.
+#include <cstdio>
+
+#include "src/system/harness.hh"
+
+using namespace jumanji;
+
+static void
+dumpRun(const char *label, System &sys, const RunResult &run)
+{
+    std::printf("==== %s ====\n", label);
+    MemPath &path = sys.memPath();
+    std::printf("  tail worst ratio: %.3f   attackers %.3f\n",
+                run.worstTailRatio(), run.attackersPerAccess);
+    for (const auto &app : run.apps) {
+        const auto &c = app.counters;
+        double hitRate =
+            c.llcHits + c.llcMisses == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(c.llcHits) /
+                      static_cast<double>(c.llcHits + c.llcMisses);
+        double hops = c.llcHits + c.llcMisses == 0
+                          ? 0.0
+                          : static_cast<double>(c.nocHops) /
+                                (2.0 * static_cast<double>(c.llcHits +
+                                                           c.llcMisses));
+        double acc = static_cast<double>(c.llcHits + c.llcMisses);
+        std::printf("  app %-14s vm%d %s ipc=%.3f llcHit%%=%.1f hops=%.2f "
+                    "lat=%.0f tail=%.0f ddl=%.0f reqs=%llu\n",
+                    app.name.c_str(), app.vm,
+                    app.latencyCritical ? "LC" : "B ", app.progress.ipc(),
+                    hitRate, hops,
+                    acc > 0 ? app.avgAccessLatency : 0.0,
+                    app.tailLatency, app.deadline,
+                    static_cast<unsigned long long>(app.requestsCompleted));
+    }
+    // Allocation timeline for LC apps (last few epochs).
+    const auto &tl = sys.allocationTimeline();
+    std::printf("  alloc timeline (LC vcs, lines):\n");
+    for (std::size_t e = 0; e < tl.size(); e++) {
+        if (e % 2 != 0 && e + 1 != tl.size()) continue;
+        std::printf("    epoch %2zu:", e);
+        for (const auto &[vc, lines] : tl[e].allocLines) {
+            if (vc % 5 == 0) // LC apps sit first in each VM (slot order)
+                std::printf(" vc%d=%llu", vc,
+                            static_cast<unsigned long long>(lines));
+        }
+        std::printf(" inval=%llu\n",
+                    static_cast<unsigned long long>(tl[e].invalidations));
+    }
+}
+
+int
+main()
+{
+    SystemConfig cfg = SystemConfig::benchScaled();
+    cfg.seed = 1;
+    Rng rng(1);
+    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
+
+    ExperimentHarness harness(cfg);
+    auto calib = harness.calibrationsFor(mix);
+    for (const auto &[name, c] : calib)
+        std::printf("calib %s: service=%.0f deadline=%.0f (ratio %.2f)\n",
+                    name.c_str(), c.serviceCycles, c.deadline,
+                    c.deadline / c.serviceCycles);
+
+    MixResult result = harness.runMix(
+        mix,
+        {LlcDesign::Adaptive, LlcDesign::VMPart, LlcDesign::Jigsaw,
+         LlcDesign::Jumanji, LlcDesign::JumanjiInsecure,
+         LlcDesign::JumanjiIdealBatch},
+        LoadLevel::High);
+    std::printf("\n%-20s %10s %10s %10s %8s %8s %8s\n", "design",
+                "tailRatio", "batchWS", "attackers", "lcHit%", "bHit%",
+                "bLat");
+    for (const auto &d : result.designs) {
+        double lcHits = 0, lcAcc = 0, bHits = 0, bAcc = 0, bLat = 0;
+        int bN = 0;
+        for (const auto &a : d.run.apps) {
+            double acc = static_cast<double>(a.counters.llcHits +
+                                             a.counters.llcMisses);
+            if (a.latencyCritical) {
+                lcHits += static_cast<double>(a.counters.llcHits);
+                lcAcc += acc;
+            } else {
+                bHits += static_cast<double>(a.counters.llcHits);
+                bAcc += acc;
+                bLat += a.avgAccessLatency;
+                bN++;
+            }
+        }
+        std::printf("%-20s %10.3f %10.3f %10.3f %8.1f %8.1f %8.0f\n",
+                    llcDesignName(d.design), d.tailRatio, d.batchSpeedup,
+                    d.run.attackersPerAccess, 100.0 * lcHits / lcAcc,
+                    100.0 * bHits / bAcc, bLat / bN);
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+// Scratch: inspect solo LC-app runs (calibration dynamics).
+#include <cstdio>
+
+#include "src/system/system.hh"
+
+using namespace jumanji;
+
+static void
+soloRun(const char *name, double util, LcCalibrationMap calib)
+{
+    SystemConfig cfg = SystemConfig::benchScaled();
+    cfg.design = LlcDesign::Static;
+    if (util > 0) cfg.utilizationOverride = util;
+    else cfg.load = LoadLevel::High;
+    cfg.measureTicks *= 4;
+
+    WorkloadMix solo;
+    VmSpec vm;
+    vm.lcApps.push_back(name);
+    solo.vms.push_back(vm);
+
+    System sys(cfg, solo, calib);
+    RunResult run = sys.run();
+    for (TailLatencyApp *tail : sys.tailApps()) {
+        const SampleStat &lat = tail->latencies();
+        std::printf("util=%.2f reqs=%zu mean=%.0f p50=%.0f p90=%.0f "
+                    "p95=%.0f p99=%.0f max=%.0f\n",
+                    util, lat.count(), lat.mean(), lat.percentile(50),
+                    lat.percentile(90), lat.percentile(95),
+                    lat.percentile(99), lat.max());
+    }
+    for (const auto &app : run.apps) {
+        const auto &c = app.counters;
+        double hit = 100.0 * static_cast<double>(c.llcHits) /
+                     static_cast<double>(c.llcHits + c.llcMisses);
+        std::printf("  hit%%=%.1f lat=%.0f instrs=%llu\n", hit,
+                    app.avgAccessLatency,
+                    static_cast<unsigned long long>(app.progress.instrs));
+    }
+}
+
+int
+main()
+{
+    soloRun("xapian", 0.05, {});
+    LcCalibrationMap calib;
+    calib["xapian"] = LcCalibration{14896.0, 0.0};
+    soloRun("xapian", 0.0, calib);  // high load
+    soloRun("xapian", 0.10, calib);
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * jumanji_cli: run custom experiments from the command line.
+ *
+ * Usage:
+ *   jumanji_cli [options]
+ *     --design <name>      Static|Adaptive|VM-Part|Jigsaw|Jumanji|
+ *                          Insecure|IdealBatch (default: all five main)
+ *     --lc <name|Mixed>    latency-critical app selection
+ *                          (masstree|xapian|img-dnn|silo|moses|Mixed)
+ *     --load <low|high>    offered load (default high)
+ *     --vms <n>            number of VMs (default 4)
+ *     --batch <n>          batch apps per VM (default 4)
+ *     --mixes <n>          random batch mixes (default 3)
+ *     --seed <n>           base seed (default 1)
+ *     --paper-scale        use the full Table II capacity/time scale
+ *
+ * Prints one row per design: tail ratio (mean/worst over LC apps),
+ * gmean batch weighted speedup vs. Static, and attackers/access.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/sim/logging.hh"
+#include "src/system/harness.hh"
+
+using namespace jumanji;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, int exitCode = 2)
+{
+    std::fprintf(exitCode == 0 ? stdout : stderr,
+                 "usage: %s [--design <name>] [--lc <name|Mixed>] "
+                 "[--load low|high] [--vms N] [--batch N] [--mixes N] "
+                 "[--seed N] [--paper-scale]\n",
+                 argv0);
+    std::exit(exitCode);
+}
+
+LlcDesign
+parseDesign(const std::string &name)
+{
+    if (name == "Static") return LlcDesign::Static;
+    if (name == "Adaptive") return LlcDesign::Adaptive;
+    if (name == "VM-Part") return LlcDesign::VMPart;
+    if (name == "Jigsaw") return LlcDesign::Jigsaw;
+    if (name == "Jumanji") return LlcDesign::Jumanji;
+    if (name == "Insecure") return LlcDesign::JumanjiInsecure;
+    if (name == "IdealBatch") return LlcDesign::JumanjiIdealBatch;
+    fatal("unknown design: " + name);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    std::vector<LlcDesign> designs;
+    std::vector<std::string> lcNames = {"xapian"};
+    LoadLevel load = LoadLevel::High;
+    std::uint32_t vms = 4, batchPerVm = 4, mixes = 3;
+    std::uint64_t seed = 1;
+    bool paperScale = false;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        try {
+            if (arg == "--design") {
+                designs.push_back(parseDesign(next()));
+            } else if (arg == "--lc") {
+                std::string name = next();
+                if (name == "Mixed") {
+                    lcNames = allTailAppNames();
+                } else {
+                    tailAppParams(name); // validates
+                    lcNames = {name};
+                }
+            } else if (arg == "--load") {
+                std::string level = next();
+                if (level == "low") load = LoadLevel::Low;
+                else if (level == "high") load = LoadLevel::High;
+                else usage(argv[0]);
+            } else if (arg == "--vms") {
+                vms = static_cast<std::uint32_t>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            } else if (arg == "--batch") {
+                batchPerVm = static_cast<std::uint32_t>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            } else if (arg == "--mixes") {
+                mixes = static_cast<std::uint32_t>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            } else if (arg == "--seed") {
+                seed = std::strtoull(next().c_str(), nullptr, 10);
+            } else if (arg == "--paper-scale") {
+                paperScale = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage(argv[0], 0);
+            } else {
+                std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+                usage(argv[0]);
+            }
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 2;
+        }
+    }
+
+    if (vms == 0 || batchPerVm > 64 || mixes == 0) {
+        std::fprintf(stderr, "error: --vms and --mixes must be >= 1, "
+                             "--batch <= 64\n");
+        return 2;
+    }
+
+    if (designs.empty()) {
+        designs = {LlcDesign::Adaptive, LlcDesign::VMPart,
+                   LlcDesign::Jigsaw, LlcDesign::Jumanji};
+    }
+
+    SystemConfig cfg = paperScale ? SystemConfig::paperDefault()
+                                  : SystemConfig::benchScaled();
+    cfg.seed = seed;
+    if (paperScale) {
+        std::fprintf(stderr,
+                     "note: --paper-scale simulates Table II time "
+                     "constants (hours of CPU time per run).\n");
+    }
+
+    try {
+        ExperimentHarness harness(cfg);
+        std::vector<MixResult> results;
+        for (std::uint32_t m = 0; m < mixes; m++) {
+            SystemConfig mixCfg = cfg;
+            mixCfg.seed = seed + m * 1000003ull;
+            Rng rng(mixCfg.seed ^ 0x5eed);
+            WorkloadMix mix = makeMix(lcNames, vms, batchPerVm, rng);
+            ExperimentHarness local(harness);
+            local.mutableBaseConfig() = mixCfg;
+            results.push_back(local.runMix(mix, designs, load));
+        }
+
+        auto speedups = gmeanSpeedups(results);
+        auto vuln = meanVulnerability(results);
+
+        std::printf("%-20s %12s %12s %12s %12s\n", "design",
+                    "tail(mean)", "tail(worst)", "batchWS",
+                    "attackers");
+        std::vector<LlcDesign> all = {LlcDesign::Static};
+        for (LlcDesign d : designs)
+            if (d != LlcDesign::Static) all.push_back(d);
+        for (LlcDesign d : all) {
+            double meanTail = 0.0, worst = 0.0;
+            for (const auto &mix : results) {
+                meanTail += mix.of(d).meanTailRatio;
+                worst = std::max(worst, mix.of(d).tailRatio);
+            }
+            meanTail /= static_cast<double>(results.size());
+            std::printf("%-20s %12.3f %12.3f %12.3f %12.3f\n",
+                        llcDesignName(d), meanTail, worst, speedups[d],
+                        vuln[d]);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
