@@ -1,5 +1,6 @@
 #include "src/cache/cache_array.hh"
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -54,6 +55,8 @@ CacheArray::lineAt(std::uint32_t set, std::uint32_t way) const
 void
 CacheArray::accountFill(const AccessOwner &owner)
 {
+    JUMANJI_ASSERT(validCount_ < numLines(),
+                   "fill would exceed array capacity");
     validCount_++;
     appOccupancy_[owner.app]++;
     vcOccupancy_[owner.vc]++;
@@ -63,6 +66,11 @@ CacheArray::accountFill(const AccessOwner &owner)
 void
 CacheArray::accountDrop(const AccessOwner &owner)
 {
+    JUMANJI_ASSERT(validCount_ > 0, "drop from an empty array");
+    JUMANJI_ASSERT(appOccupancy_[owner.app] > 0,
+                   "app occupancy underflow");
+    JUMANJI_ASSERT(vcOccupancy_[owner.vc] > 0,
+                   "VC occupancy underflow");
     validCount_--;
     appOccupancy_[owner.app]--;
     vcOccupancy_[owner.vc]--;
@@ -72,6 +80,40 @@ CacheArray::accountDrop(const AccessOwner &owner)
         if (appIt != vmIt->second.end() && --appIt->second == 0)
             vmIt->second.erase(appIt);
     }
+}
+
+void
+CacheArray::checkOccupancyInvariant() const
+{
+#if JUMANJI_CHECKS_ACTIVE
+    std::uint64_t valid = 0;
+    std::map<AppId, std::uint64_t> byApp;
+    std::map<VcId, std::uint64_t> byVc;
+    for (const Line &l : lines_) {
+        if (!l.valid) continue;
+        valid++;
+        byApp[l.owner.app]++;
+        byVc[l.owner.vc]++;
+    }
+    JUMANJI_INVARIANT(valid == validCount_,
+                      "validCount_ disagrees with the line array");
+    for (const auto &[app, count] : byApp) {
+        auto it = appOccupancy_.find(app);
+        JUMANJI_INVARIANT(it != appOccupancy_.end() &&
+                              it->second == count,
+                          "per-app occupancy accounting drifted");
+    }
+    for (const auto &[vc, count] : byVc) {
+        auto it = vcOccupancy_.find(vc);
+        JUMANJI_INVARIANT(it != vcOccupancy_.end() && it->second == count,
+                          "per-VC occupancy accounting drifted");
+    }
+    std::uint64_t appSum = 0, vcSum = 0;
+    for (const auto &[app, count] : appOccupancy_) appSum += count;
+    for (const auto &[vc, count] : vcOccupancy_) vcSum += count;
+    JUMANJI_INVARIANT(appSum == validCount_ && vcSum == validCount_,
+                      "occupancy sums disagree with validCount_");
+#endif
 }
 
 ArrayAccessResult
@@ -107,6 +149,9 @@ CacheArray::access(LineAddr line, const AccessOwner &owner)
     }
     if (victim == ways_)
         victim = repl_->victimWay(set, mask);
+    JUMANJI_ASSERT(victim < ways_, "victim way out of range");
+    JUMANJI_ASSERT(mask.contains(victim),
+                   "replacement chose a victim outside the way mask");
 
     Line &v = lineAt(set, victim);
     if (v.valid) {
@@ -142,6 +187,8 @@ CacheArray::insert(LineAddr line, const AccessOwner &owner)
         }
     }
     if (victim == ways_) victim = repl_->victimWay(set, mask);
+    JUMANJI_ASSERT(victim < ways_ && mask.contains(victim),
+                   "migration fill outside the way mask");
 
     Line &v = lineAt(set, victim);
     if (v.valid) accountDrop(v.owner);
@@ -200,6 +247,7 @@ CacheArray::invalidateIf(
             }
         }
     }
+    checkOccupancyInvariant();
     return dropped;
 }
 

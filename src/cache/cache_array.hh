@@ -13,8 +13,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cache/replacement.hh"
@@ -144,18 +144,28 @@ class CacheArray
     void accountFill(const AccessOwner &owner);
     void accountDrop(const AccessOwner &owner);
 
+    /**
+     * Recomputes occupancy from the line array and checks it against
+     * the incremental accounting (sum over apps == sum over VCs ==
+     * validCount_ == valid lines). Debug builds call this after bulk
+     * mutations; it is O(lines), so not per-access.
+     */
+    void checkOccupancyInvariant() const;
+
     std::uint32_t sets_;
     std::uint32_t ways_;
     std::vector<Line> lines_;
     std::unique_ptr<ReplPolicy> repl_;
-    std::unordered_map<VcId, WayMask> masks_;
+    // Ordered maps throughout: occupancy/mask state is iterated for
+    // stats reporting and placement decisions, and unordered-map
+    // iteration order would make that output nondeterministic.
+    std::map<VcId, WayMask> masks_;
 
     std::uint64_t validCount_ = 0;
-    std::unordered_map<AppId, std::uint64_t> appOccupancy_;
-    std::unordered_map<VcId, std::uint64_t> vcOccupancy_;
+    std::map<AppId, std::uint64_t> appOccupancy_;
+    std::map<VcId, std::uint64_t> vcOccupancy_;
     /** Per-VM set of apps with >0 lines: vm -> (app -> count). */
-    std::unordered_map<VmId, std::unordered_map<AppId, std::uint64_t>>
-        vmApps_;
+    std::map<VmId, std::map<AppId, std::uint64_t>> vmApps_;
 };
 
 } // namespace jumanji

@@ -1,5 +1,7 @@
 #include "src/cache/cache_bank.hh"
 
+#include "src/sim/check.hh"
+
 namespace jumanji {
 
 CacheBank::CacheBank(BankId id, std::uint32_t sets, std::uint32_t ways,
@@ -26,11 +28,15 @@ CacheBank::acquirePort(Tick now)
 BankAccessResult
 CacheBank::access(Tick now, LineAddr line, const AccessOwner &owner)
 {
+    checkSetBank(id_);
     BankAccessResult result;
     Tick grant = acquirePort(now);
+    JUMANJI_ASSERT(grant >= now, "port granted before arrival");
     result.queueDelay = grant - now;
 
     ArrayAccessResult arr = array_.access(line, owner);
+    JUMANJI_ASSERT(!(arr.hit && arr.evicted),
+                   "a hit must never evict a line");
     result.hit = arr.hit;
     result.evicted = arr.evicted;
     result.evictedOwner = arr.evictedOwner;
@@ -38,6 +44,7 @@ CacheBank::access(Tick now, LineAddr line, const AccessOwner &owner)
 
     accesses_++;
     if (arr.hit) hits_++;
+    JUMANJI_INVARIANT(hits_ <= accesses_, "hit count exceeds accesses");
     queueCycles_ += result.queueDelay;
     return result;
 }

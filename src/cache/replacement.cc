@@ -1,5 +1,6 @@
 #include "src/cache/replacement.hh"
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -34,6 +35,7 @@ ReplPolicy::create(ReplKind kind, std::uint32_t sets, std::uint32_t ways,
       case ReplKind::DRRIP:
         return std::make_unique<DrripPolicy>(sets, ways, 32, seed);
     }
+    JUMANJI_UNREACHABLE("unknown replacement kind");
     panic("unknown replacement kind");
 }
 
@@ -85,6 +87,8 @@ LruPolicy::victimWay(std::uint32_t set, const WayMask &mask)
         }
     }
     if (!found) panic("LruPolicy::victimWay: empty way mask");
+    JUMANJI_ASSERT(mask.contains(victim),
+                   "LRU victim escaped the way mask");
     return victim;
 }
 
@@ -142,6 +146,8 @@ std::uint32_t
 RripPolicy::victimWay(std::uint32_t set, const WayMask &mask)
 {
     if (mask.empty()) panic("RripPolicy::victimWay: empty way mask");
+    JUMANJI_ASSERT(!(mask & WayMask::all(ways_)).empty(),
+                   "way mask selects no way of this bank");
     std::size_t base = static_cast<std::size_t>(set) * ways_;
     for (;;) {
         for (std::uint32_t w = 0; w < ways_; w++) {
@@ -203,6 +209,8 @@ DrripPolicy::onFill(std::uint32_t set, std::uint32_t way)
     } else if (isBrripLeader(set)) {
         if (psel_ < kPselMax) psel_++;
     }
+    JUMANJI_INVARIANT(psel_ >= kPselMin && psel_ <= kPselMax,
+                      "PSEL escaped its saturation range");
     RripPolicy::onFill(set, way);
 }
 

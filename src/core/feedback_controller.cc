@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -30,6 +31,9 @@ FeedbackController::FeedbackController(const ControllerParams &params,
 bool
 FeedbackController::requestCompleted(double latencyCycles)
 {
+    JUMANJI_ASSERT(latencyCycles >= 0.0 &&
+                       std::isfinite(latencyCycles),
+                   "request latency must be finite and nonnegative");
     window_.add(latencyCycles);
     if (window_.count() <= params_.configurationInterval) return false;
 
@@ -61,6 +65,9 @@ FeedbackController::update(double tail)
     targetLines_ = std::clamp(
         static_cast<std::uint64_t>(std::llround(target)), minLines_,
         maxLines_);
+    JUMANJI_INVARIANT(targetLines_ >= minLines_ &&
+                          targetLines_ <= maxLines_,
+                      "controller target escaped its clamp range");
 }
 
 } // namespace jumanji

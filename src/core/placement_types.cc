@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -169,7 +170,13 @@ apportionWays(const std::map<VcId, std::uint64_t> &linesPerVc,
     }
 
     std::vector<std::pair<VcId, std::uint32_t>> result;
-    for (const auto &item : items) result.emplace_back(item.vc, item.ways);
+    std::uint32_t handedOut = 0;
+    for (const auto &item : items) {
+        result.emplace_back(item.vc, item.ways);
+        handedOut += item.ways;
+    }
+    JUMANJI_INVARIANT(handedOut <= totalWays,
+                      "apportioned more ways than the bank has");
     // Deterministic mask layout: VC-id order.
     std::sort(result.begin(), result.end());
     return result;
@@ -231,6 +238,11 @@ materializePlan(const AllocationMatrix &matrix,
         for (const auto &[vc, count] : ways) {
             WayMask mask = WayMask::range(cursor, count);
             cursor += count;
+            // Way-mask consistency: contiguous CAT ranges must stay
+            // within the bank and never overlap (the cursor only
+            // advances).
+            JUMANJI_INVARIANT(cursor <= geo.waysPerBank,
+                              "way masks overflow the bank");
             if (vc <= kGroupTokenBase) {
                 int g = static_cast<int>(kGroupTokenBase - vc);
                 for (VcId svc : groupMembersHere[g])

@@ -1,5 +1,6 @@
 #include "src/core/runtime_driver.hh"
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -24,6 +25,10 @@ void
 RuntimeDriver::registerApp(const RuntimeAppInfo &info,
                            const ControllerParams &params, double deadline)
 {
+    JUMANJI_ASSERT(info.vc != kInvalidVc && info.app != kInvalidApp,
+                   "app registration with invalid ids");
+    for (const auto &app : apps_)
+        JUMANJI_ASSERT(app.vc != info.vc, "VC registered twice");
     apps_.push_back(info);
     path_->registerVc(info.vc);
     if (idealBatchPath_ != nullptr) idealBatchPath_->registerVc(info.vc);
@@ -208,10 +213,26 @@ RuntimeDriver::installPlan(const PlacementPlan &plan, Tick now)
 void
 RuntimeDriver::reconfigureNow(Tick now)
 {
+    checkSetPhase("reconfigure");
     EpochInputs in = gatherInputs();
     PlacementPlan plan = policy_->reconfigure(in);
+#if JUMANJI_CHECKS_ACTIVE
+    // Every registered app with allocated lines must come out of the
+    // policy with a descriptor and a full set of way masks; a missing
+    // entry would silently leave the app on its stale placement.
+    for (const auto &app : apps_) {
+        if (plan.matrix.vcTotal(app.vc) == 0) continue;
+        JUMANJI_INVARIANT(plan.descriptors.count(app.vc) == 1,
+                          "allocated VC missing a descriptor");
+        auto maskIt = plan.wayMasks.find(app.vc);
+        JUMANJI_INVARIANT(maskIt != plan.wayMasks.end() &&
+                              maskIt->second.size() == geo_.banks,
+                          "allocated VC missing per-bank way masks");
+    }
+#endif
     installPlan(plan, now);
     reconfigs_++;
+    checkSetPhase("simulate");
 
     // Age UMON counters so curves track the recent epochs while
     // keeping enough history to stay stable (see DESIGN.md).

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -22,6 +23,9 @@ Tick
 CoreModel::completeAccess(Tick now)
 {
     // `now` is the access's arrival tick at its bank.
+    checkSetCore(id_);
+    JUMANJI_ASSERT(now >= pendingIssueTick_,
+                   "access arrived before it was issued");
     accessPending_ = false;
     const AppTraits &traits = app_->traits();
 
@@ -50,6 +54,7 @@ CoreModel::completeAccess(Tick now)
 Tick
 CoreModel::resume(Tick now)
 {
+    checkSetCore(id_);
     if (accessPending_) return completeAccess(now);
 
     AppStep step = app_->next(now, rng_);

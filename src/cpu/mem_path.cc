@@ -1,5 +1,6 @@
 #include "src/cpu/mem_path.hh"
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -60,6 +61,9 @@ MemPath::planAccess(std::uint32_t coreTile, VcId vc, LineAddr line) const
     route.bank = vtb_.lookup(vc, line);
     if (route.bank == kInvalidBank)
         panic("MemPath::planAccess: VC descriptor has an invalid slot");
+    JUMANJI_ASSERT(static_cast<std::uint32_t>(route.bank) <
+                       llcParams_.banks,
+                   "descriptor names a bank outside the LLC");
     route.hops = mesh_.hops(coreTile,
                             static_cast<std::uint32_t>(route.bank));
     route.traversal = mesh_.traversalLatency(route.hops);
@@ -93,6 +97,9 @@ MemPath::accessArrived(Tick now, std::uint32_t coreTile,
         now = std::max(now, actual);
     }
 
+    JUMANJI_ASSERT(route.hops <
+                       mesh_.params().cols + mesh_.params().rows - 1,
+                   "X-Y route exceeds the mesh diameter");
     CacheBank &bank = *banks_[static_cast<std::size_t>(route.bank)];
 
     // Vulnerability metric (Sec. VII): apps from other VMs occupying
@@ -189,6 +196,10 @@ MemPath::installPlacement(VcId vc, const PlacementDescriptor &desc)
     for (const auto &[line, owner] : evictees) {
         BankId target = desc.bankFor(line);
         if (target == kInvalidBank) continue;
+        JUMANJI_ASSERT(static_cast<std::size_t>(target) < banks_.size(),
+                       "coherence walk targets a nonexistent bank");
+        JUMANJI_ASSERT(owner.vc == vc,
+                       "coherence walk moved another VC's line");
         banks_[static_cast<std::size_t>(target)]->array().insert(line,
                                                                  owner);
         moved++;

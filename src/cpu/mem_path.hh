@@ -12,8 +12,8 @@
 #define JUMANJI_CPU_MEM_PATH_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/cache/cache_bank.hh"
@@ -181,7 +181,8 @@ class MemPath
     LlcParams llcParams_;
     UmonParams umonParams_;
     std::vector<std::unique_ptr<CacheBank>> banks_;
-    std::unordered_map<VcId, std::unique_ptr<Umon>> umons_;
+    /** Ordered: UMONs are walked when gathering epoch inputs. */
+    std::map<VcId, std::unique_ptr<Umon>> umons_;
 
     AccessCounters counters_;
     std::uint64_t attackerSum_ = 0;

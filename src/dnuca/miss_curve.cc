@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -72,6 +73,13 @@ MissCurve::convexHull() const
             result[i] = points_[a] * (1.0 - t) + points_[b] * t;
         }
     }
+#if JUMANJI_CHECKS_ACTIVE
+    // A lower hull never lies above the curve it was built from.
+    for (std::size_t i = 0; i < points_.size(); i++) {
+        JUMANJI_INVARIANT(result[i] <= points_[i] + 1e-9,
+                          "convex hull rose above the source curve");
+    }
+#endif
     return MissCurve(std::move(result));
 }
 

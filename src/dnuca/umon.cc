@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -61,6 +62,8 @@ Umon::access(LineAddr line)
     auto it = std::find(stack.begin(), stack.end(), line);
     if (it != stack.end()) {
         auto pos = static_cast<std::size_t>(it - stack.begin());
+        JUMANJI_ASSERT(pos < hitCounters_.size(),
+                       "recency position beyond UMON ways");
         hitCounters_[pos]++;
         stack.erase(it);
         stack.insert(stack.begin(), line);
@@ -69,6 +72,10 @@ Umon::access(LineAddr line)
         if (stack.size() >= params_.ways) stack.pop_back();
         stack.insert(stack.begin(), line);
     }
+    JUMANJI_INVARIANT(stack.size() <= params_.ways,
+                      "UMON LRU stack outgrew its associativity");
+    JUMANJI_INVARIANT(sampledAccesses_ <= accesses_,
+                      "sampled more accesses than were observed");
 }
 
 MissCurve

@@ -5,6 +5,7 @@
 #include <map>
 #include <vector>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -88,6 +89,9 @@ PlacementDescriptor::fillProportional(
         if (i == 0) i = allocs.size();
     }
 
+    JUMANJI_INVARIANT(used == kSlots,
+                      "apportionment must hand out exactly 128 slots");
+
     // Interleave slots across banks (round-robin over remaining
     // quotas) so hash slices spread evenly.
     std::uint32_t slot = 0;
@@ -103,6 +107,10 @@ PlacementDescriptor::fillProportional(
         if (!progressed)
             panic("PlacementDescriptor::fillProportional: slot underflow");
     }
+    JUMANJI_INVARIANT(
+        std::none_of(slots_.begin(), slots_.end(),
+                     [](BankId b) { return b == kInvalidBank; }),
+        "proportional fill left an unassigned slot");
 }
 
 void
@@ -147,6 +155,15 @@ PlacementDescriptor::stabilizedAgainst(const PlacementDescriptor &prev)
     }
     if (u != unassigned.size())
         panic("PlacementDescriptor::stabilizedAgainst: quota mismatch");
+#if JUMANJI_CHECKS_ACTIVE
+    // Stabilization must preserve per-bank slot counts exactly.
+    for (const auto &[bank, count] : quota) {
+        JUMANJI_INVARIANT(count == 0,
+                          "stabilization left unassigned quota");
+        JUMANJI_INVARIANT(result.slotsOn(bank) == slotsOn(bank),
+                          "stabilization changed a bank's slot count");
+    }
+#endif
     return result;
 }
 

@@ -14,7 +14,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/sim/types.hh"
@@ -106,7 +106,9 @@ class Vtb
     std::size_t size() const { return table_.size(); }
 
   private:
-    std::unordered_map<VcId, PlacementDescriptor> table_;
+    // Ordered so that any walk over installed descriptors (stats,
+    // debugging dumps) visits VCs in a deterministic order.
+    std::map<VcId, PlacementDescriptor> table_;
 };
 
 } // namespace jumanji

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -54,11 +55,14 @@ MemorySystem::access(Tick now, LineAddr line, VmId vm,
 {
     MemAccessResult result;
     result.controller = controllerFor(line);
+    JUMANJI_ASSERT(result.controller < params_.controllers,
+                   "controller index out of range");
 
     if (params_.partitionBandwidth && latencyCritical) {
         // Reserved LC share: queues only behind other LC traffic.
         Tick &busy = lcBusyUntil_[result.controller];
         Tick grant = std::max(now, busy);
+        JUMANJI_ASSERT(grant >= now, "port grant precedes arrival");
         busy = grant + params_.serviceInterval;
         result.queueDelay = grant - now;
         result.latency = result.queueDelay + params_.accessLatency;
@@ -80,6 +84,8 @@ MemorySystem::access(Tick now, LineAddr line, VmId vm,
 
     result.queueDelay = grant - now;
     result.latency = result.queueDelay + params_.accessLatency;
+    JUMANJI_ASSERT(result.latency >= params_.accessLatency,
+                   "memory latency below the fixed access latency");
 
     accesses_++;
     queueCycles_ += result.queueDelay;

@@ -12,7 +12,7 @@
 #define JUMANJI_MEM_MEMORY_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/noc/mesh.hh"
@@ -84,8 +84,12 @@ class MemorySystem
   private:
     MemoryParams params_;
     std::vector<std::uint32_t> cornerTiles_;
-    /** busyUntil[controller][vm] with partitioning, else [controller][0]. */
-    std::vector<std::unordered_map<VmId, Tick>> busyUntil_;
+    /**
+     * busyUntil[controller][vm] with partitioning, else
+     * [controller][0]. Ordered map: deterministic iteration if the
+     * queues are ever walked for stats.
+     */
+    std::vector<std::map<VmId, Tick>> busyUntil_;
     /** Reserved latency-critical track per controller. */
     std::vector<Tick> lcBusyUntil_;
     std::uint32_t activeVms_ = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {
@@ -41,17 +42,26 @@ MeshTopology::traverse(Tick start, std::uint32_t fromTile,
         busy = grant + std::max<Tick>(1, flits);
         now = grant + params_.routerDelay + params_.linkDelay;
     }
+    JUMANJI_ASSERT(now >= start,
+                   "contended traversal finished before it started");
     return now;
 }
 
 std::uint32_t
 MeshTopology::hops(std::uint32_t fromTile, std::uint32_t toTile) const
 {
+    JUMANJI_ASSERT(fromTile < numTiles() && toTile < numTiles(),
+                   "tile index outside the mesh");
     std::int64_t dx = static_cast<std::int64_t>(xOf(fromTile)) -
                       static_cast<std::int64_t>(xOf(toTile));
     std::int64_t dy = static_cast<std::int64_t>(yOf(fromTile)) -
                       static_cast<std::int64_t>(yOf(toTile));
-    return static_cast<std::uint32_t>(std::llabs(dx) + std::llabs(dy));
+    std::uint32_t h =
+        static_cast<std::uint32_t>(std::llabs(dx) + std::llabs(dy));
+    // Mesh-hop bound: an X-Y route is at most the mesh semi-perimeter.
+    JUMANJI_ASSERT(h <= params_.cols + params_.rows - 2,
+                   "hop count exceeds the mesh semi-perimeter");
+    return h;
 }
 
 Tick

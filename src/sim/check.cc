@@ -1,0 +1,56 @@
+#include "src/sim/check.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+CheckContext &
+checkContext()
+{
+    static CheckContext ctx;
+    return ctx;
+}
+
+namespace detail {
+
+std::string
+describeContext()
+{
+    const CheckContext &ctx = checkContext();
+    std::ostringstream os;
+    os << "tick=" << ctx.tick;
+    os << " bank=";
+    if (ctx.bank == kInvalidBank) os << "-";
+    else os << ctx.bank;
+    os << " core=";
+    if (ctx.core < 0) os << "-";
+    else os << ctx.core;
+    os << " phase=" << (ctx.phase != nullptr ? ctx.phase : "?");
+    return os.str();
+}
+
+void
+checkFailed(const char *kind, const char *file, int line,
+            const char *func, const char *expr, const std::string &msg)
+{
+    std::string context = describeContext();
+    std::fprintf(stderr,
+                 "jumanji: %s FAILED at %s:%d in %s\n"
+                 "  expression: %s\n"
+                 "  context:    %s\n",
+                 kind, file, line, func, expr, context.c_str());
+    if (!msg.empty())
+        std::fprintf(stderr, "  message:    %s\n", msg.c_str());
+
+    std::ostringstream os;
+    os << kind << " failed: " << expr;
+    if (!msg.empty()) os << " (" << msg << ")";
+    os << " at " << file << ":" << line << " [" << context << "]";
+    panic(os.str());
+}
+
+} // namespace detail
+} // namespace jumanji

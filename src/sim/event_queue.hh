@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/check.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
@@ -73,7 +74,12 @@ class EventQueue
         while (!heap_.empty() && heap_.top().when < until) {
             Entry e = heap_.top();
             heap_.pop();
+            // Event-queue monotonicity: the heap must never surface
+            // an event from the past.
+            JUMANJI_INVARIANT(e.when >= now_,
+                              "event queue went backwards in time");
             now_ = e.when;
+            checkSetTick(now_);
             Tick next = e.agent->resume(now_);
             if (next != kTickMax) {
                 // Time must advance; a zero-delay self-loop would hang.
@@ -82,6 +88,7 @@ class EventQueue
             }
         }
         if (now_ < until) now_ = until;
+        checkSetTick(now_);
         return now_;
     }
 

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * FNV-1a fingerprinting of stats streams.
+ *
+ * The determinism self-check (jumanji_cli --selfcheck and
+ * tests/test_determinism.cc) folds every stat a run produces into one
+ * 64-bit FNV-1a hash; two runs of the same (config, mix) must produce
+ * identical hashes or the simulator has a nondeterminism bug.
+ *
+ * Doubles are hashed by bit pattern, so even a 1-ulp divergence in an
+ * accumulated metric changes the fingerprint.
+ */
+
+#ifndef JUMANJI_SIM_FINGERPRINT_HH
+#define JUMANJI_SIM_FINGERPRINT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace jumanji {
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fingerprint
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+    /** Raw bytes. */
+    void
+    addBytes(const void *data, std::size_t len)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; i++) {
+            hash_ ^= bytes[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    void
+    addU64(std::uint64_t v)
+    {
+        addBytes(&v, sizeof(v));
+    }
+
+    void
+    addI64(std::int64_t v)
+    {
+        addU64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Hashes the bit pattern, with -0.0 canonicalized to +0.0. */
+    void
+    addDouble(double v)
+    {
+        if (v == 0.0) v = 0.0; // collapse -0.0 and +0.0
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        addU64(bits);
+    }
+
+    /** Length-prefixed, so "ab"+"c" differs from "a"+"bc". */
+    void
+    addString(const std::string &s)
+    {
+        addU64(s.size());
+        addBytes(s.data(), s.size());
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = kOffsetBasis;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_SIM_FINGERPRINT_HH

@@ -21,8 +21,14 @@ namespace jumanji {
 class Rng
 {
   public:
-    /** Seeds the generator via splitmix64 expansion of @p seed. */
-    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    /**
+     * Seeds the generator via splitmix64 expansion of @p seed.
+     *
+     * Deliberately no default argument: every stream must trace back
+     * to an explicit seed (ultimately the config's), or reproducibility
+     * from (seed, config) silently breaks.
+     */
+    explicit Rng(std::uint64_t seed)
     {
         std::uint64_t x = seed;
         for (auto &word : state_) {

@@ -214,4 +214,68 @@ meanVulnerability(const std::vector<MixResult> &results)
     return out;
 }
 
+void
+fingerprintRun(Fingerprint &fp, const RunResult &run)
+{
+    fp.addU64(run.apps.size());
+    for (const auto &app : run.apps) {
+        fp.addString(app.name);
+        fp.addI64(app.app);
+        fp.addI64(app.vm);
+        fp.addU64(app.latencyCritical ? 1 : 0);
+        fp.addU64(app.progress.instrs);
+        fp.addU64(app.progress.cycles);
+        fp.addU64(app.counters.l1Hits);
+        fp.addU64(app.counters.l1Misses);
+        fp.addU64(app.counters.l2Hits);
+        fp.addU64(app.counters.l2Misses);
+        fp.addU64(app.counters.llcHits);
+        fp.addU64(app.counters.llcMisses);
+        fp.addU64(app.counters.nocHops);
+        fp.addU64(app.counters.memAccesses);
+        fp.addDouble(app.avgAccessLatency);
+        fp.addDouble(app.tailLatency);
+        fp.addDouble(app.deadline);
+        fp.addU64(app.requestsCompleted);
+    }
+    fp.addDouble(run.attackersPerAccess);
+    fp.addDouble(run.energy.l1);
+    fp.addDouble(run.energy.l2);
+    fp.addDouble(run.energy.llc);
+    fp.addDouble(run.energy.noc);
+    fp.addDouble(run.energy.mem);
+    fp.addU64(run.measuredTicks);
+    fp.addU64(run.reconfigurations);
+    fp.addU64(run.coherenceInvalidations);
+}
+
+void
+fingerprintMix(Fingerprint &fp, const MixResult &mix)
+{
+    fp.addU64(mix.mix.vms.size());
+    for (const auto &vm : mix.mix.vms) {
+        fp.addU64(vm.lcApps.size());
+        for (const auto &name : vm.lcApps) fp.addString(name);
+        fp.addU64(vm.batchApps.size());
+        for (const auto &name : vm.batchApps) fp.addString(name);
+    }
+    fp.addU64(mix.designs.size());
+    for (const auto &d : mix.designs) {
+        fp.addI64(static_cast<std::int64_t>(d.design));
+        fp.addDouble(d.batchSpeedup);
+        fp.addDouble(d.tailRatio);
+        fp.addDouble(d.meanTailRatio);
+        fingerprintRun(fp, d.run);
+    }
+}
+
+std::uint64_t
+fingerprintResults(const std::vector<MixResult> &results)
+{
+    Fingerprint fp;
+    fp.addU64(results.size());
+    for (const auto &mix : results) fingerprintMix(fp, mix);
+    return fp.value();
+}
+
 } // namespace jumanji

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/fingerprint.hh"
 #include "src/system/system.hh"
 
 namespace jumanji {
@@ -99,6 +100,20 @@ worstTailRatios(const std::vector<MixResult> &results);
 /** Aggregates mean attackers-per-access per design across mixes. */
 std::map<LlcDesign, double>
 meanVulnerability(const std::vector<MixResult> &results);
+
+/**
+ * Folds every stat of @p run into @p fp. The determinism self-check
+ * (`jumanji_cli --selfcheck`) compares these digests across two runs
+ * of the same config: any divergence means a stat depended on
+ * something other than (seed, config).
+ */
+void fingerprintRun(Fingerprint &fp, const RunResult &run);
+
+/** Folds a whole mix result (workload spec + every design's run). */
+void fingerprintMix(Fingerprint &fp, const MixResult &mix);
+
+/** Digest of a full experiment's results. */
+std::uint64_t fingerprintResults(const std::vector<MixResult> &results);
 
 } // namespace jumanji
 

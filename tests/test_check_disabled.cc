@@ -1,0 +1,27 @@
+// Pins the contract macros OFF for this TU (see check_test_helpers.hh).
+#define JUMANJI_DISABLE_CHECKS 1
+
+#include "src/sim/check.hh"
+
+#include "tests/check_test_helpers.hh"
+
+static_assert(JUMANJI_CHECKS_ACTIVE == 0,
+              "JUMANJI_DISABLE_CHECKS must win over everything");
+
+namespace jumanji::checktest {
+
+void
+disabledAssert(int *evalCount)
+{
+    // False if it were ever evaluated; disabled macros must neither
+    // evaluate (evalCount stays put) nor enforce (no throw).
+    JUMANJI_ASSERT(++(*evalCount) < 0, "must never fire");
+}
+
+void
+disabledInvariant(int *evalCount)
+{
+    JUMANJI_INVARIANT(++(*evalCount) < 0, "must never fire");
+}
+
+} // namespace jumanji::checktest

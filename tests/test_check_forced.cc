@@ -1,0 +1,42 @@
+// Pins the contract macros ON for this TU (see check_test_helpers.hh).
+#define JUMANJI_FORCE_CHECKS 1
+
+#include "src/sim/check.hh"
+
+#include "tests/check_test_helpers.hh"
+
+static_assert(JUMANJI_CHECKS_ACTIVE == 1,
+              "JUMANJI_FORCE_CHECKS must win over NDEBUG");
+
+namespace jumanji::checktest {
+
+namespace {
+
+bool
+count(bool ok, int *evalCount)
+{
+    (*evalCount)++;
+    return ok;
+}
+
+} // namespace
+
+void
+forcedAssert(bool ok, int *evalCount)
+{
+    JUMANJI_ASSERT(count(ok, evalCount), "forced assert message");
+}
+
+void
+forcedInvariant(bool ok, int *evalCount)
+{
+    JUMANJI_INVARIANT(count(ok, evalCount), "forced invariant message");
+}
+
+void
+forcedUnreachable()
+{
+    JUMANJI_UNREACHABLE("forced unreachable message");
+}
+
+} // namespace jumanji::checktest

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Determinism self-checks: two System runs of the same (config, mix)
+ * must produce bit-identical stats fingerprints, for both the static
+ * and dynamic-NUCA designs (the latter exercises placement, VTB, and
+ * controller state — historically where iteration-order bugs hid).
+ * Mirrors `jumanji_cli --selfcheck` at test scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/fingerprint.hh"
+#include "src/system/harness.hh"
+#include "src/system/system.hh"
+
+namespace jumanji {
+namespace {
+
+SystemConfig
+tinyConfig(LlcDesign design)
+{
+    SystemConfig cfg = SystemConfig::benchScaled();
+    cfg.llc.setsPerBank = 32;
+    cfg.capacityScale = 0.0625;
+    cfg.epochTicks = 50000;
+    cfg.warmupTicks = 100000;
+    cfg.measureTicks = 200000;
+    cfg.seed = 11;
+    cfg.design = design;
+    return cfg;
+}
+
+WorkloadMix
+mixedMix(std::uint64_t seed)
+{
+    // Mixed LC + batch population, the shape the paper evaluates.
+    Rng rng(seed);
+    return makeMix({"xapian", "silo"}, 4, 4, rng);
+}
+
+std::uint64_t
+runFingerprint(LlcDesign design)
+{
+    System system(tinyConfig(design), mixedMix(11));
+    RunResult run = system.run();
+    Fingerprint fp;
+    fingerprintRun(fp, run);
+    return fp.value();
+}
+
+TEST(Determinism, StaticDesignStatsHashIdentical)
+{
+    EXPECT_EQ(runFingerprint(LlcDesign::Static),
+              runFingerprint(LlcDesign::Static));
+}
+
+TEST(Determinism, JumanjiDesignStatsHashIdentical)
+{
+    EXPECT_EQ(runFingerprint(LlcDesign::Jumanji),
+              runFingerprint(LlcDesign::Jumanji));
+}
+
+TEST(Determinism, SeedChangesFingerprint)
+{
+    std::uint64_t base = runFingerprint(LlcDesign::Static);
+    SystemConfig cfg = tinyConfig(LlcDesign::Static);
+    cfg.seed = 12;
+    System system(cfg, mixedMix(11));
+    RunResult run = system.run();
+    Fingerprint fp;
+    fingerprintRun(fp, run);
+    EXPECT_NE(base, fp.value());
+}
+
+TEST(Determinism, FingerprintIsOrderAndFieldSensitive)
+{
+    Fingerprint a, b;
+    a.addU64(1);
+    a.addU64(2);
+    b.addU64(2);
+    b.addU64(1);
+    EXPECT_NE(a.value(), b.value());
+
+    Fingerprint c, d;
+    c.addString("ab");
+    c.addString("c");
+    d.addString("a");
+    d.addString("bc");
+    EXPECT_NE(c.value(), d.value());
+
+    Fingerprint e, f;
+    e.addDouble(0.0);
+    f.addDouble(-0.0);
+    EXPECT_EQ(e.value(), f.value()) << "-0.0 must canonicalize";
+}
+
+TEST(Determinism, MixResultFingerprintCoversAllDesigns)
+{
+    MixResult mix;
+    mix.mix = mixedMix(11);
+    DesignResult dr;
+    dr.design = LlcDesign::Static;
+    dr.batchSpeedup = 1.0;
+    mix.designs.push_back(dr);
+
+    Fingerprint a;
+    fingerprintMix(a, mix);
+    mix.designs.back().batchSpeedup = 1.25;
+    Fingerprint b;
+    fingerprintMix(b, mix);
+    EXPECT_NE(a.value(), b.value());
+}
+
+} // namespace
+} // namespace jumanji

@@ -14,9 +14,16 @@
  *     --mixes <n>          random batch mixes (default 3)
  *     --seed <n>           base seed (default 1)
  *     --paper-scale        use the full Table II capacity/time scale
+ *     --selfcheck          run the experiment twice and compare stats
+ *                          fingerprints (determinism self-check)
  *
  * Prints one row per design: tail ratio (mean/worst over LC apps),
  * gmean batch weighted speedup vs. Static, and attackers/access.
+ *
+ * With --selfcheck, instead prints the two FNV-1a fingerprints of the
+ * full stats stream and exits 0 iff they match: reproducibility from
+ * (seed, config) alone is a hard project invariant (see
+ * docs/INTERNALS.md).
  */
 
 #include <cstdio>
@@ -38,7 +45,7 @@ usage(const char *argv0, int exitCode = 2)
     std::fprintf(exitCode == 0 ? stdout : stderr,
                  "usage: %s [--design <name>] [--lc <name|Mixed>] "
                  "[--load low|high] [--vms N] [--batch N] [--mixes N] "
-                 "[--seed N] [--paper-scale]\n",
+                 "[--seed N] [--paper-scale] [--selfcheck]\n",
                  argv0);
     std::exit(exitCode);
 }
@@ -69,6 +76,7 @@ main(int argc, char **argv)
     std::uint32_t vms = 4, batchPerVm = 4, mixes = 3;
     std::uint64_t seed = 1;
     bool paperScale = false;
+    bool selfcheck = false;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -105,6 +113,8 @@ main(int argc, char **argv)
                 seed = std::strtoull(next().c_str(), nullptr, 10);
             } else if (arg == "--paper-scale") {
                 paperScale = true;
+            } else if (arg == "--selfcheck") {
+                selfcheck = true;
             } else if (arg == "--help" || arg == "-h") {
                 usage(argv[0], 0);
             } else {
@@ -138,17 +148,35 @@ main(int argc, char **argv)
     }
 
     try {
-        ExperimentHarness harness(cfg);
-        std::vector<MixResult> results;
-        for (std::uint32_t m = 0; m < mixes; m++) {
-            SystemConfig mixCfg = cfg;
-            mixCfg.seed = seed + m * 1000003ull;
-            Rng rng(mixCfg.seed ^ 0x5eed);
-            WorkloadMix mix = makeMix(lcNames, vms, batchPerVm, rng);
-            ExperimentHarness local(harness);
-            local.mutableBaseConfig() = mixCfg;
-            results.push_back(local.runMix(mix, designs, load));
+        auto runExperiment = [&]() {
+            ExperimentHarness harness(cfg);
+            std::vector<MixResult> results;
+            for (std::uint32_t m = 0; m < mixes; m++) {
+                SystemConfig mixCfg = cfg;
+                mixCfg.seed = seed + m * 1000003ull;
+                Rng rng(mixCfg.seed ^ 0x5eed);
+                WorkloadMix mix = makeMix(lcNames, vms, batchPerVm, rng);
+                ExperimentHarness local(harness);
+                local.mutableBaseConfig() = mixCfg;
+                results.push_back(local.runMix(mix, designs, load));
+            }
+            return results;
+        };
+
+        if (selfcheck) {
+            // Two independent runs of the identical experiment; the
+            // stats stream must hash identically or the simulator
+            // depends on something outside (seed, config).
+            std::uint64_t first = fingerprintResults(runExperiment());
+            std::uint64_t second = fingerprintResults(runExperiment());
+            std::printf("selfcheck: run1=%016llx run2=%016llx -> %s\n",
+                        static_cast<unsigned long long>(first),
+                        static_cast<unsigned long long>(second),
+                        first == second ? "OK" : "MISMATCH");
+            return first == second ? 0 : 1;
         }
+
+        std::vector<MixResult> results = runExperiment();
 
         auto speedups = gmeanSpeedups(results);
         auto vuln = meanVulnerability(results);

@@ -1,0 +1,635 @@
+/**
+ * @file
+ * jumanji_lint: project-specific determinism & memory-safety checks.
+ *
+ * Standard linters don't know this codebase's invariants, so this
+ * tool enforces the handful that matter for a deterministic
+ * simulator (see docs/INTERNALS.md, "Invariants & static analysis"):
+ *
+ *   no-unseeded-rand   rand()/srand()/std::random_device and
+ *                      wall-clock reads (time(), clock(),
+ *                      gettimeofday, chrono clocks) are banned in
+ *                      src/ — results must depend on (seed, config)
+ *                      alone.
+ *   rng-routing        <random> engines/distributions are banned;
+ *                      all randomness flows through src/sim/rng.hh.
+ *   unordered-iter     iterating an unordered_map/unordered_set
+ *                      (range-for or .begin()/.cbegin()) is banned:
+ *                      iteration order is implementation-defined and
+ *                      has already caused run-to-run divergence in
+ *                      placement and stats code. Keyed lookups are
+ *                      fine; ordered containers are the fix.
+ *   raw-new-delete     raw new/delete expressions are banned in
+ *                      favour of smart pointers ("= delete" and
+ *                      "operator new/delete" are not flagged).
+ *   no-float           float shortens doubles feeding Tick/latency
+ *                      arithmetic and diverges across -ffast-math /
+ *                      FMA settings; the project uses double only.
+ *
+ * Suppressions (justification required, reported in --json output):
+ *   // lint-allow: <rule> <why>        same line or the line above
+ *   // lint-allow-file: <rule> <why>   whole file
+ *
+ * Usage:
+ *   jumanji_lint [--json] [--report <path>] <file-or-dir>...
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage/IO error.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+    std::string snippet;
+};
+
+struct Suppression
+{
+    std::string rule; // "*" matches every rule
+    std::string justification;
+};
+
+struct SourceFile
+{
+    std::string path;
+    std::string raw;
+    /** raw with comments/strings blanked to spaces (offsets kept). */
+    std::string code;
+    /** line number -> comment text on that line. */
+    std::map<std::size_t, std::string> comments;
+    /** line number -> suppressions declared on that line. */
+    std::map<std::size_t, std::vector<Suppression>> lineAllows;
+    std::vector<Suppression> fileAllows;
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::size_t
+lineOf(const std::string &text, std::size_t offset)
+{
+    return 1 + static_cast<std::size_t>(
+                   std::count(text.begin(), text.begin() +
+                              static_cast<std::ptrdiff_t>(offset), '\n'));
+}
+
+std::string
+lineText(const std::string &text, std::size_t offset)
+{
+    std::size_t begin = text.rfind('\n', offset);
+    begin = begin == std::string::npos ? 0 : begin + 1;
+    std::size_t end = text.find('\n', offset);
+    if (end == std::string::npos) end = text.size();
+    std::string s = text.substr(begin, end - begin);
+    // Trim for report readability.
+    std::size_t first = s.find_first_not_of(" \t");
+    if (first != std::string::npos) s = s.substr(first);
+    if (s.size() > 90) s = s.substr(0, 87) + "...";
+    return s;
+}
+
+/**
+ * Blanks comments and string/char literals to spaces so the scanning
+ * passes can't match inside them, and collects comment text per line
+ * for suppression parsing. Newlines survive so offsets map to the
+ * same line numbers in raw and code.
+ */
+void
+stripToCode(SourceFile &sf)
+{
+    const std::string &in = sf.raw;
+    std::string out = in;
+    std::size_t i = 0;
+    auto blank = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to && k < out.size(); k++)
+            if (out[k] != '\n') out[k] = ' ';
+    };
+    while (i < in.size()) {
+        char c = in[i];
+        if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+            std::size_t end = in.find('\n', i);
+            if (end == std::string::npos) end = in.size();
+            sf.comments[lineOf(in, i)] += in.substr(i, end - i);
+            blank(i, end);
+            i = end;
+        } else if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+            std::size_t end = in.find("*/", i + 2);
+            end = end == std::string::npos ? in.size() : end + 2;
+            // A block comment contributes to every line it spans.
+            std::istringstream body(in.substr(i, end - i));
+            std::string bodyLine;
+            std::size_t ln = lineOf(in, i);
+            while (std::getline(body, bodyLine))
+                sf.comments[ln++] += bodyLine;
+            blank(i, end);
+            i = end;
+        } else if (c == '"' || c == '\'') {
+            std::size_t end = i + 1;
+            while (end < in.size()) {
+                if (in[end] == '\\') end += 2;
+                else if (in[end] == c) { end++; break; }
+                else end++;
+            }
+            blank(i + 1, end - 1 < in.size() ? end - 1 : in.size());
+            i = end;
+        } else {
+            i++;
+        }
+    }
+    sf.code = std::move(out);
+}
+
+void
+parseSuppressions(SourceFile &sf)
+{
+    for (const auto &[line, text] : sf.comments) {
+        std::size_t pos = 0;
+        while (true) {
+            bool fileWide = false;
+            std::size_t at = text.find("lint-allow:", pos);
+            std::size_t atFile = text.find("lint-allow-file:", pos);
+            if (atFile != std::string::npos &&
+                (at == std::string::npos || atFile < at)) {
+                at = atFile;
+                fileWide = true;
+            }
+            if (at == std::string::npos) break;
+            std::size_t cursor = at + (fileWide
+                                           ? sizeof("lint-allow-file:")
+                                           : sizeof("lint-allow:")) - 1;
+            std::istringstream rest(text.substr(cursor));
+            Suppression s;
+            rest >> s.rule;
+            std::getline(rest, s.justification);
+            std::size_t first = s.justification.find_first_not_of(" \t");
+            s.justification = first == std::string::npos
+                                  ? ""
+                                  : s.justification.substr(first);
+            if (!s.rule.empty()) {
+                if (fileWide) sf.fileAllows.push_back(s);
+                else sf.lineAllows[line].push_back(s);
+            }
+            pos = cursor;
+        }
+    }
+}
+
+bool
+suppressed(const SourceFile &sf, const std::string &rule,
+           std::size_t line)
+{
+    auto matches = [&](const Suppression &s) {
+        return s.rule == "*" || s.rule == rule;
+    };
+    for (const auto &s : sf.fileAllows)
+        if (matches(s)) return true;
+    // Same line or the immediately preceding line.
+    for (std::size_t ln : {line, line - 1}) {
+        auto it = sf.lineAllows.find(ln);
+        if (it != sf.lineAllows.end())
+            for (const auto &s : it->second)
+                if (matches(s)) return true;
+    }
+    return false;
+}
+
+/** All offsets where @p word appears as a whole identifier in code. */
+std::vector<std::size_t>
+findWord(const std::string &code, const std::string &word)
+{
+    std::vector<std::size_t> hits;
+    std::size_t pos = 0;
+    while ((pos = code.find(word, pos)) != std::string::npos) {
+        bool left = pos == 0 || !identChar(code[pos - 1]);
+        std::size_t after = pos + word.size();
+        bool right = after >= code.size() || !identChar(code[after]);
+        if (left && right) hits.push_back(pos);
+        pos = after;
+    }
+    return hits;
+}
+
+std::size_t
+skipSpaces(const std::string &s, std::size_t i)
+{
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])) != 0)
+        i++;
+    return i;
+}
+
+/** Previous non-space offset, or npos. */
+std::size_t
+prevToken(const std::string &s, std::size_t i)
+{
+    while (i > 0) {
+        i--;
+        if (std::isspace(static_cast<unsigned char>(s[i])) == 0) return i;
+    }
+    return std::string::npos;
+}
+
+bool
+precededByWord(const std::string &code, std::size_t at,
+               const std::string &word)
+{
+    std::size_t p = prevToken(code, at);
+    if (p == std::string::npos || p + 1 < word.size()) return false;
+    std::size_t start = p + 1 - word.size();
+    if (code.compare(start, word.size(), word) != 0) return false;
+    return start == 0 || !identChar(code[start - 1]);
+}
+
+void
+report(std::vector<Finding> &findings, const SourceFile &sf,
+       const std::string &rule, std::size_t offset,
+       const std::string &message)
+{
+    std::size_t line = lineOf(sf.code, offset);
+    if (suppressed(sf, rule, line)) return;
+    findings.push_back(Finding{sf.path, line, rule, message,
+                               lineText(sf.raw, offset)});
+}
+
+// --- Rule: no-unseeded-rand -------------------------------------------
+
+void
+checkRandAndClocks(const SourceFile &sf, std::vector<Finding> &findings)
+{
+    struct Banned
+    {
+        const char *word;
+        bool requiresCall; // only flag `word(`
+        const char *why;
+    };
+    static const Banned kBanned[] = {
+        {"rand", true, "libc rand() is unseeded global state"},
+        {"srand", true, "seed through Rng, not global srand()"},
+        {"random_device", false,
+         "std::random_device is nondeterministic by design"},
+        {"time", true, "wall-clock read breaks reproducibility"},
+        {"clock", true, "wall-clock read breaks reproducibility"},
+        {"gettimeofday", false,
+         "wall-clock read breaks reproducibility"},
+        {"system_clock", false,
+         "wall-clock read breaks reproducibility"},
+        {"steady_clock", false,
+         "wall-clock read breaks reproducibility"},
+        {"high_resolution_clock", false,
+         "wall-clock read breaks reproducibility"},
+    };
+    for (const auto &b : kBanned) {
+        for (std::size_t at : findWord(sf.code, b.word)) {
+            if (b.requiresCall) {
+                std::size_t after = skipSpaces(sf.code,
+                                               at + std::strlen(b.word));
+                if (after >= sf.code.size() || sf.code[after] != '(')
+                    continue;
+                // Member calls (x.time(), x->clock()) are not libc.
+                std::size_t p = prevToken(sf.code, at);
+                if (p != std::string::npos &&
+                    (sf.code[p] == '.' ||
+                     (sf.code[p] == '>' && p > 0 &&
+                      sf.code[p - 1] == '-')))
+                    continue;
+                // Declarations like `Tick time(...)`: preceding
+                // identifier means this is a declarator, not a call.
+                if (p != std::string::npos && identChar(sf.code[p]))
+                    continue;
+            }
+            report(findings, sf, "no-unseeded-rand", at,
+                   std::string(b.word) + ": " + b.why);
+        }
+    }
+}
+
+// --- Rule: rng-routing ------------------------------------------------
+
+void
+checkRngRouting(const SourceFile &sf, std::vector<Finding> &findings)
+{
+    // rng.hh is the one sanctioned RNG implementation.
+    if (sf.path.size() >= 6 &&
+        sf.path.compare(sf.path.size() - 6, 6, "rng.hh") == 0)
+        return;
+    static const char *kBanned[] = {
+        "mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+        "ranlux24", "ranlux48", "knuth_b", "default_random_engine",
+        "uniform_int_distribution", "uniform_real_distribution",
+        "bernoulli_distribution", "normal_distribution",
+        "exponential_distribution", "poisson_distribution",
+        "discrete_distribution",
+    };
+    for (const char *word : kBanned)
+        for (std::size_t at : findWord(sf.code, word))
+            report(findings, sf, "rng-routing", at,
+                   std::string(word) +
+                       ": route all randomness through "
+                       "src/sim/rng.hh (Rng)");
+    // The include itself (string contents are blanked, so look at raw).
+    std::size_t pos = 0;
+    while ((pos = sf.raw.find("#include", pos)) != std::string::npos) {
+        std::size_t eol = sf.raw.find('\n', pos);
+        if (eol == std::string::npos) eol = sf.raw.size();
+        std::string line = sf.raw.substr(pos, eol - pos);
+        if (line.find("<random>") != std::string::npos)
+            report(findings, sf, "rng-routing", pos,
+                   "#include <random>: route all randomness through "
+                   "src/sim/rng.hh (Rng)");
+        pos = eol;
+    }
+}
+
+// --- Rule: unordered-iter ---------------------------------------------
+
+/**
+ * Pass 1: names declared anywhere in the scanned set with an
+ * unordered_map/unordered_set type. Declarations look like
+ *   std::unordered_map<K, V> name...  |  unordered_set<T> name...
+ * The template argument list is skipped with bracket counting.
+ */
+void
+collectUnorderedNames(const SourceFile &sf, std::set<std::string> &names)
+{
+    for (const char *type : {"unordered_map", "unordered_set",
+                             "unordered_multimap",
+                             "unordered_multiset"}) {
+        for (std::size_t at : findWord(sf.code, type)) {
+            std::size_t i = skipSpaces(sf.code, at + std::strlen(type));
+            if (i >= sf.code.size() || sf.code[i] != '<') continue;
+            int depth = 0;
+            while (i < sf.code.size()) {
+                if (sf.code[i] == '<') depth++;
+                else if (sf.code[i] == '>' && --depth == 0) { i++; break; }
+                i++;
+            }
+            i = skipSpaces(sf.code, i);
+            // Skip ref/pointer declarators.
+            while (i < sf.code.size() &&
+                   (sf.code[i] == '&' || sf.code[i] == '*'))
+                i = skipSpaces(sf.code, i + 1);
+            std::size_t begin = i;
+            while (i < sf.code.size() && identChar(sf.code[i])) i++;
+            if (i > begin)
+                names.insert(sf.code.substr(begin, i - begin));
+        }
+    }
+}
+
+/**
+ * Pass 2: range-for (`for (... : name)`) and explicit iterator loops
+ * (`name.begin()` / `name.cbegin()`) over collected names. Keyed
+ * lookups (find/count/at/[]) are order-insensitive and not flagged.
+ */
+void
+checkUnorderedIteration(const SourceFile &sf,
+                        const std::set<std::string> &names,
+                        std::vector<Finding> &findings)
+{
+    for (const std::string &name : names) {
+        for (std::size_t at : findWord(sf.code, name)) {
+            // `name.begin()` / `name.cbegin()` / `name->begin()`.
+            std::size_t i = at + name.size();
+            std::size_t memberAt = std::string::npos;
+            if (i < sf.code.size() && sf.code[i] == '.')
+                memberAt = i + 1;
+            else if (i + 1 < sf.code.size() && sf.code[i] == '-' &&
+                     sf.code[i + 1] == '>')
+                memberAt = i + 2;
+            if (memberAt != std::string::npos) {
+                for (const char *m : {"begin", "cbegin", "rbegin"}) {
+                    std::size_t end = memberAt + std::strlen(m);
+                    if (sf.code.compare(memberAt, std::strlen(m), m) ==
+                            0 &&
+                        (end >= sf.code.size() ||
+                         !identChar(sf.code[end])))
+                        report(findings, sf, "unordered-iter", at,
+                               name + "." + m +
+                                   "(): unordered iteration order is "
+                                   "nondeterministic; use std::map or "
+                                   "a sorted vector");
+                }
+                continue;
+            }
+            // Range-for: previous non-space char is ':' (but not '::').
+            std::size_t p = prevToken(sf.code, at);
+            if (p != std::string::npos && sf.code[p] == ':' &&
+                (p == 0 || sf.code[p - 1] != ':')) {
+                report(findings, sf, "unordered-iter", at,
+                       "range-for over " + name +
+                           ": unordered iteration order is "
+                           "nondeterministic; use std::map or a "
+                           "sorted vector");
+            }
+        }
+    }
+}
+
+// --- Rule: raw-new-delete ---------------------------------------------
+
+void
+checkRawNewDelete(const SourceFile &sf, std::vector<Finding> &findings)
+{
+    for (std::size_t at : findWord(sf.code, "new")) {
+        if (precededByWord(sf.code, at, "operator")) continue;
+        report(findings, sf, "raw-new-delete", at,
+               "raw new: use std::make_unique/std::make_shared");
+    }
+    for (std::size_t at : findWord(sf.code, "delete")) {
+        if (precededByWord(sf.code, at, "operator")) continue;
+        // `= delete` / `= delete;` declares a deleted function.
+        std::size_t p = prevToken(sf.code, at);
+        if (p != std::string::npos && sf.code[p] == '=') continue;
+        report(findings, sf, "raw-new-delete", at,
+               "raw delete: owning pointers must be smart pointers");
+    }
+}
+
+// --- Rule: no-float ---------------------------------------------------
+
+void
+checkFloat(const SourceFile &sf, std::vector<Finding> &findings)
+{
+    for (std::size_t at : findWord(sf.code, "float"))
+        report(findings, sf, "no-float", at,
+               "float: Tick/latency arithmetic must stay in double "
+               "(32-bit rounding diverges across toolchains)");
+}
+
+// --- Driver -----------------------------------------------------------
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".hpp" || ext == ".h";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+renderJson(const std::vector<Finding> &findings)
+{
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < findings.size(); i++) {
+        const Finding &f = findings[i];
+        out += "  {\"file\": \"" + jsonEscape(f.file) +
+               "\", \"line\": " + std::to_string(f.line) +
+               ", \"rule\": \"" + jsonEscape(f.rule) +
+               "\", \"message\": \"" + jsonEscape(f.message) +
+               "\", \"snippet\": \"" + jsonEscape(f.snippet) + "\"}";
+        out += i + 1 < findings.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    std::string reportPath;
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--report") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--report needs a path\n");
+                return 2;
+            }
+            reportPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: %s [--json] [--report <path>] "
+                        "<file-or-dir>...\n", argv[0]);
+            return 0;
+        } else {
+            roots.emplace_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr, "usage: %s [--json] [--report <path>] "
+                             "<file-or-dir>...\n", argv[0]);
+        return 2;
+    }
+
+    std::vector<SourceFile> files;
+    for (const auto &root : roots) {
+        std::error_code ec;
+        if (fs::is_directory(root, ec)) {
+            for (auto it = fs::recursive_directory_iterator(root, ec);
+                 it != fs::recursive_directory_iterator(); ++it)
+                if (it->is_regular_file() && isSourceFile(it->path()))
+                    files.push_back(
+                        SourceFile{it->path().string(), "", "", {}, {},
+                                   {}});
+        } else if (fs::is_regular_file(root, ec)) {
+            files.push_back(
+                SourceFile{root.string(), "", "", {}, {}, {}});
+        } else {
+            std::fprintf(stderr, "error: cannot read %s\n",
+                         root.string().c_str());
+            return 2;
+        }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.path < b.path;
+              });
+
+    for (auto &sf : files) {
+        std::ifstream in(sf.path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "error: cannot read %s\n",
+                         sf.path.c_str());
+            return 2;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        sf.raw = buf.str();
+        stripToCode(sf);
+        parseSuppressions(sf);
+    }
+
+    // Pass 1: unordered container names across the whole scan set,
+    // so a member declared in a header is caught iterating in a .cc.
+    std::set<std::string> unorderedNames;
+    for (const auto &sf : files) collectUnorderedNames(sf, unorderedNames);
+
+    std::vector<Finding> findings;
+    for (const auto &sf : files) {
+        checkRandAndClocks(sf, findings);
+        checkRngRouting(sf, findings);
+        checkUnorderedIteration(sf, unorderedNames, findings);
+        checkRawNewDelete(sf, findings);
+        checkFloat(sf, findings);
+    }
+
+    std::string output =
+        json ? renderJson(findings) : std::string();
+    if (!json) {
+        for (const auto &f : findings)
+            output += f.file + ":" + std::to_string(f.line) + ": [" +
+                      f.rule + "] " + f.message + "\n    " + f.snippet +
+                      "\n";
+        output += std::to_string(files.size()) + " files scanned, " +
+                  std::to_string(findings.size()) + " finding(s)\n";
+    }
+    std::fputs(output.c_str(), stdout);
+    if (!reportPath.empty()) {
+        std::ofstream out(reportPath);
+        if (!out) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         reportPath.c_str());
+            return 2;
+        }
+        out << renderJson(findings);
+    }
+    return findings.empty() ? 0 : 1;
+}
