@@ -19,6 +19,10 @@
 using namespace jumanji;
 using namespace jumanji::bench;
 
+namespace {
+constexpr std::size_t kNoColumn = static_cast<std::size_t>(-1);
+} // namespace
+
 int
 main()
 {
@@ -45,42 +49,47 @@ main()
         c.design = d;
         c.load = LoadLevel::High;
         System system(c, mix, calib);
-        system.run();
+        RunResult run = system.run();
 
         std::printf("\n-- %s --\n", llcDesignName(d));
         std::printf("deadline (cycles): %.0f\n", deadline);
         std::printf("%-6s %16s %16s %14s\n", "epoch", "avgLat(xapian)",
                     "xapianAlloc(ln)", "attackers");
 
-        // (a) latency series: mean over the 4 xapian instances of
-        //     the per-epoch mean request latency.
-        const auto &latencySeries = system.latencyTimeline().at("xapian");
-        const auto &vulnSeries = system.vulnerabilityTimeline();
-        const auto &allocSeries = system.allocationTimeline();
+        // All three series come from the epoch recorder: per-LC-app
+        // latency ("apps.aNN.epochLatency"), per-VC allocation
+        // ("runtime.vcNN.allocLines"), and the vulnerability metric
+        // ("epoch.vuln"). LC apps and their VCs are identified from
+        // the cores' owner records rather than assuming slot layout.
+        const TimelineSeries &ts = run.timeline;
+        std::vector<std::size_t> latCols;
+        std::set<std::size_t> allocCols;
+        const auto &cores = system.cores();
+        for (std::size_t i = 0; i < cores.size(); i++) {
+            if (!cores[i]->owner().latencyCritical) continue;
+            std::size_t lat = ts.columnIndex(
+                "apps.a" + statIndexName(i) + ".epochLatency");
+            std::size_t alloc = ts.columnIndex(
+                "runtime.vc" + statIndexName(cores[i]->owner().vc) +
+                ".allocLines");
+            if (lat != kNoColumn) latCols.push_back(lat);
+            if (alloc != kNoColumn) allocCols.insert(alloc);
+        }
+        std::size_t vulnCol = ts.columnIndex("epoch.vuln");
 
-        // Identify LC VCs from the cores' owner records rather than
-        // assuming any particular slot layout.
-        std::set<VcId> lcVcs;
-        for (const auto &core : system.cores())
-            if (core->owner().latencyCritical)
-                lcVcs.insert(core->owner().vc);
-
-        std::size_t epochs = std::min(latencySeries.size(),
-                                      std::min(vulnSeries.size(),
-                                               allocSeries.size()));
-        for (std::size_t e = 0; e < epochs; e++) {
-            // (b) allocation: average over LC VCs.
+        for (std::size_t e = 0; e < ts.rows.size(); e++) {
+            const std::vector<double> &row = ts.rows[e];
+            double lat = 0.0;
+            for (std::size_t col : latCols) lat += row[col];
+            if (!latCols.empty())
+                lat /= static_cast<double>(latCols.size());
             double alloc = 0.0;
-            int lcCount = 0;
-            for (const auto &[vc, lines] : allocSeries[e].allocLines) {
-                if (lcVcs.count(vc)) {
-                    alloc += static_cast<double>(lines);
-                    lcCount++;
-                }
-            }
-            if (lcCount > 0) alloc /= lcCount;
-            std::printf("%-6zu %16.0f %16.0f %14.3f\n", e,
-                        latencySeries[e], alloc, vulnSeries[e]);
+            for (std::size_t col : allocCols) alloc += row[col];
+            if (!allocCols.empty())
+                alloc /= static_cast<double>(allocCols.size());
+            double vuln = vulnCol != kNoColumn ? row[vulnCol] : 0.0;
+            std::printf("%-6zu %16.0f %16.0f %14.3f\n", e, lat, alloc,
+                        vuln);
         }
     }
 

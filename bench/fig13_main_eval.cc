@@ -35,18 +35,22 @@ runGroup(ExperimentHarness &harness, const std::string &label,
     for (LlcDesign d : mainDesigns()) all.push_back(d);
 
     auto speedups = gmeanSpeedups(results);
-    auto vuln = meanVulnerability(results);
     for (LlcDesign d : all) {
-        double meanTail = 0.0, worstTail = 0.0;
+        // Tail ratios and vulnerability come straight from the stats
+        // registry dump each run carries ("sys.*" formulas).
+        double meanTail = 0.0, worstTail = 0.0, attackers = 0.0;
         for (const auto &mix : results) {
             const DesignResult &dr = mix.of(d);
-            meanTail += dr.meanTailRatio;
-            worstTail = std::max(worstTail, dr.tailRatio);
+            meanTail += dr.run.stat("sys.tail.meanRatio");
+            worstTail = std::max(worstTail,
+                                 dr.run.stat("sys.tail.worstRatio"));
+            attackers += dr.run.stat("sys.attackersPerAccess");
         }
         meanTail /= static_cast<double>(results.size());
+        attackers /= static_cast<double>(results.size());
         std::printf("%-20s %12.3f %12.3f %12.3f %12.3f\n",
                     llcDesignName(d), meanTail, worstTail, speedups[d],
-                    vuln[d]);
+                    attackers);
     }
 }
 

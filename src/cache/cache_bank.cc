@@ -1,8 +1,27 @@
 #include "src/cache/cache_bank.hh"
 
 #include "src/sim/check.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
+
+void
+CacheBank::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + "accesses", "accesses arriving at this bank",
+                   &accesses_);
+    reg.addCounter(prefix + "hits", "hits in this bank", &hits_);
+    reg.addFormula(prefix + "misses", "accesses - hits", [this] {
+        return static_cast<double>(accesses_ - hits_);
+    });
+    reg.addCounter(prefix + "queueCycles",
+                   "cycles spent queueing for a bank port",
+                   &queueCycles_);
+    reg.addGauge(prefix + "occupancy", "valid lines in this bank",
+                 [this] {
+                     return static_cast<double>(array_.validLines());
+                 });
+}
 
 CacheBank::CacheBank(BankId id, std::uint32_t sets, std::uint32_t ways,
                      ReplKind repl, const BankTimingParams &timing,

@@ -20,6 +20,8 @@
 
 namespace jumanji {
 
+class StatRegistry;
+
 /** Timing parameters for a bank. */
 struct BankTimingParams
 {
@@ -67,6 +69,9 @@ class CacheBank
     std::uint64_t totalAccesses() const { return accesses_; }
     std::uint64_t totalHits() const { return hits_; }
     std::uint64_t totalQueueCycles() const { return queueCycles_; }
+
+    /** Registers this bank's stats under @p prefix ("llc.bank07."). */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
 
   private:
     /** Returns the grant time for an access arriving at @p now. */

@@ -2,6 +2,8 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
+#include "src/sim/tracing.hh"
 
 namespace jumanji {
 
@@ -57,12 +59,63 @@ RuntimeDriver::registerApp(const RuntimeAppInfo &info,
 }
 
 void
-RuntimeDriver::requestCompleted(VcId vc, double latencyCycles)
+RuntimeDriver::requestCompleted(VcId vc, double latencyCycles, Tick now)
 {
     auto it = controllers_.find(vc);
     if (it == controllers_.end())
         panic("RuntimeDriver::requestCompleted: not a controlled VC");
+    if (latencyCycles > it->second->deadline()) {
+        JUMANJI_TRACE(
+            tracer_,
+            instant(tracePid_ + Tracer::kCoresPid, appTile(vc),
+                    "deadlineViolation", now,
+                    {{"vc", static_cast<double>(vc)},
+                     {"latencyCycles", latencyCycles},
+                     {"deadline", it->second->deadline()}}));
+    }
     it->second->requestCompleted(latencyCycles);
+}
+
+void
+RuntimeDriver::setTracer(Tracer *tracer, std::uint32_t basePid)
+{
+    tracer_ = tracer;
+    tracePid_ = basePid;
+}
+
+void
+RuntimeDriver::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + "reconfigurations",
+                   "placement epochs executed", &reconfigs_);
+    reg.addCounter(prefix + "coherenceInvalidations",
+                   "lines moved by coherence walks across all epochs",
+                   &invalidations_);
+    for (const auto &app : apps_) {
+        VcId vc = app.vc;
+        std::string p =
+            prefix + "vc" +
+            statIndexName(static_cast<std::uint64_t>(vc)) + ".";
+        reg.addGauge(p + "allocLines",
+                     "lines installed at the last reconfiguration",
+                     [this, vc] {
+                         auto it = lastAlloc_.find(vc);
+                         return it == lastAlloc_.end()
+                                    ? 0.0
+                                    : static_cast<double>(it->second);
+                     });
+        if (auto *ctrl = controller(vc)) {
+            reg.addGauge(p + "targetLines",
+                         "feedback-controller capacity target",
+                         [ctrl] {
+                             return static_cast<double>(
+                                 ctrl->targetLines());
+                         });
+            reg.addGauge(p + "deadline",
+                         "tail-latency deadline in cycles",
+                         [ctrl] { return ctrl->deadline(); });
+        }
+    }
 }
 
 void
@@ -206,7 +259,40 @@ RuntimeDriver::installPlan(const PlacementPlan &plan, Tick now)
         record.allocLines[app.vc] = plan.matrix.vcTotal(app.vc);
     }
 
+    lastAlloc_ = record.allocLines;
     invalidations_ += record.invalidations;
+
+#if !defined(JUMANJI_DISABLE_TRACING)
+    if (tracer_ != nullptr) {
+        tracer_->instant(
+            tracePid_ + Tracer::kRuntimePid, 0, "repartition", now,
+            {{"epoch", static_cast<double>(reconfigs_)},
+             {"invalidations",
+              static_cast<double>(record.invalidations)}});
+        if (record.invalidations > 0) {
+            tracer_->instant(tracePid_ + Tracer::kRuntimePid, 0,
+                             "coherenceWalk", now,
+                             {{"lines", static_cast<double>(
+                                            record.invalidations)}});
+        }
+        for (const auto &[vc, lines] : record.allocLines) {
+            auto nameIt = allocTrackNames_.find(vc);
+            if (nameIt == allocTrackNames_.end()) {
+                nameIt = allocTrackNames_
+                             .emplace(vc,
+                                      "allocLines.vc" +
+                                          statIndexName(
+                                              static_cast<std::uint64_t>(
+                                                  vc)))
+                             .first;
+            }
+            tracer_->counter(tracePid_ + Tracer::kRuntimePid,
+                             nameIt->second.c_str(), now,
+                             static_cast<double>(lines));
+        }
+    }
+#endif
+
     timeline_.push_back(std::move(record));
 }
 

@@ -27,6 +27,9 @@
 
 namespace jumanji {
 
+class StatRegistry;
+class Tracer;
+
 /** Registration record for one application under runtime control. */
 struct RuntimeAppInfo
 {
@@ -81,8 +84,12 @@ class RuntimeDriver : public Agent
     void registerApp(const RuntimeAppInfo &info,
                      const ControllerParams &params, double deadline);
 
-    /** Listing 1: called per completed LC request. */
-    void requestCompleted(VcId vc, double latencyCycles);
+    /**
+     * Listing 1: called per completed LC request. @p now (the
+     * completion tick) only timestamps trace events; it does not
+     * affect control decisions.
+     */
+    void requestCompleted(VcId vc, double latencyCycles, Tick now = 0);
 
     /**
      * Thread migration (Sec. IV-B): records that @p vc's thread now
@@ -130,6 +137,22 @@ class RuntimeDriver : public Agent
 
     std::uint64_t reconfigurations() const { return reconfigs_; }
 
+    /**
+     * Registers runtime stats under @p prefix ("runtime."):
+     * reconfiguration/invalidation totals plus per-VC installed
+     * allocations and LC controller targets. Call after all apps are
+     * registered.
+     */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+
+    /**
+     * Attaches a tracer (non-owning; nullptr detaches). @p basePid is
+     * the pid block from Tracer::beginRun: repartition instants and
+     * per-VC allocation counters go to the runtime lane, deadline
+     * violations to the offending app's core lane.
+     */
+    void setTracer(Tracer *tracer, std::uint32_t basePid);
+
   private:
     EpochInputs gatherInputs();
     void installPlan(const PlacementPlan &plan, Tick now);
@@ -151,6 +174,17 @@ class RuntimeDriver : public Agent
     bool rateNormalize_ = true;
     /** Last LC target actually installed, per VC (deadband). */
     std::map<VcId, std::uint64_t> installedLcTarget_;
+    /** Lines installed per VC at the last reconfiguration. */
+    std::map<VcId, std::uint64_t> lastAlloc_;
+
+    Tracer *tracer_ = nullptr;
+    std::uint32_t tracePid_ = 0;
+    /**
+     * Stable storage for per-VC counter-track names: the tracer keeps
+     * raw char pointers until serialization, and map nodes never
+     * move.
+     */
+    std::map<VcId, std::string> allocTrackNames_;
 };
 
 } // namespace jumanji

@@ -4,8 +4,28 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
+
+void
+CoreModel::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + "instrs", "instructions retired", &instrs_);
+    reg.addCounter(prefix + "stallCycles",
+                   "cycles stalled on LLC accesses", &stallCycles_);
+    reg.addCounter(prefix + "l1Hits", "statistical L1 hits",
+                   &counters_.l1Hits);
+    reg.addCounter(prefix + "l2Hits", "statistical L2 hits",
+                   &counters_.l2Hits);
+    reg.addCounter(prefix + "llcAccesses",
+                   "post-L2 accesses issued to the LLC",
+                   &counters_.l2Misses);
+    reg.addCounter(prefix + "llcHits", "LLC hits seen by this core",
+                   &counters_.llcHits);
+    reg.addCounter(prefix + "llcMisses", "LLC misses seen by this core",
+                   &counters_.llcMisses);
+}
 
 CoreModel::CoreModel(CoreId id, const AccessOwner &owner, AppModel *app,
                      MemPath *path, Rng rng)

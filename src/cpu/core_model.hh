@@ -69,6 +69,9 @@ class CoreModel : public Agent
         counters_ = AccessCounters{};
     }
 
+    /** Registers per-core stats under @p prefix ("apps.a03."). */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+
   private:
     /** Handles a pending access at its bank-arrival tick. */
     Tick completeAccess(Tick now);

@@ -2,6 +2,7 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
 
@@ -22,6 +23,8 @@ MemPath::MemPath(const LlcParams &llc, const MeshParams &mesh,
             static_cast<BankId>(b), llc.setsPerBank, llc.ways, llc.repl,
             llc.timing, seed + 0x1000 + b));
     }
+    // Max one-way hops on an X-Y route is (cols-1) + (rows-1).
+    hopCounters_.assign(mesh.cols + mesh.rows - 1, 0);
 }
 
 void
@@ -113,6 +116,7 @@ MemPath::accessArrived(Tick now, std::uint32_t coreTile,
     if (umonIt != umons_.end()) umonIt->second->access(line);
 
     counters_.nocHops += 2ull * route.hops;
+    hopCounters_[route.hops]++;
 
     BankAccessResult bankResult = bank.access(now, line, owner);
     result.llcHit = bankResult.hit;
@@ -192,6 +196,7 @@ MemPath::installPlacement(VcId vc, const PlacementDescriptor &desc)
                 return true;
             });
     }
+    coherenceWalkLines_ += evictees.size();
     if (!migrate_) return evictees.size();
     for (const auto &[line, owner] : evictees) {
         BankId target = desc.bankFor(line);
@@ -210,10 +215,54 @@ MemPath::installPlacement(VcId vc, const PlacementDescriptor &desc)
 std::uint64_t
 MemPath::flushBankForVm(BankId bank, VmId incoming)
 {
-    return banks_[static_cast<std::size_t>(bank)]->array().invalidateIf(
-        [incoming](LineAddr, const AccessOwner &o) {
-            return o.vm != incoming;
-        });
+    std::uint64_t flushed =
+        banks_[static_cast<std::size_t>(bank)]->array().invalidateIf(
+            [incoming](LineAddr, const AccessOwner &o) {
+                return o.vm != incoming;
+            });
+    vmFlushLines_ += flushed;
+    return flushed;
+}
+
+void
+MemPath::registerStats(StatRegistry &reg, const std::string &top)
+{
+    // LLC: aggregates plus one subtree per bank.
+    reg.addCounter(top + "llc.hits", "LLC hits on the timed path",
+                   &counters_.llcHits);
+    reg.addCounter(top + "llc.misses", "LLC misses on the timed path",
+                   &counters_.llcMisses);
+    for (std::uint32_t b = 0; b < banks_.size(); b++) {
+        banks_[b]->registerStats(
+            reg, top + "llc.bank" + statIndexName(b) + ".");
+    }
+
+    // D-NUCA structures.
+    vtb_.registerStats(reg, top + "dnuca.vtb.");
+    reg.addCounter(top + "dnuca.vtb.invalidations",
+                   "lines displaced by reconfiguration coherence walks",
+                   &coherenceWalkLines_);
+    reg.addCounter(top + "dnuca.vmFlushLines",
+                   "lines dropped by VM swap-in bank flushes",
+                   &vmFlushLines_);
+    for (const auto &[vc, umon] : umons_) {
+        umon->registerStats(
+            reg, top + "dnuca.umon" +
+                     statIndexName(static_cast<std::uint64_t>(vc)) + ".");
+    }
+
+    // NoC: hop totals plus the per-hop-count histogram.
+    reg.addCounter(top + "noc.hops", "total hops traversed (both ways)",
+                   &counters_.nocHops);
+    mesh_.registerStats(reg, top + "noc.");
+    for (std::uint32_t h = 0; h < hopCounters_.size(); h++) {
+        reg.addCounter(top + "noc.hopHist.h" + statIndexName(h),
+                       "accesses routed over this many hops",
+                       &hopCounters_[h]);
+    }
+
+    // Memory controllers.
+    memory_.registerStats(reg, top + "mem.");
 }
 
 void

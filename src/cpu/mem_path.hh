@@ -26,6 +26,8 @@
 
 namespace jumanji {
 
+class StatRegistry;
+
 /** Per-access outcome reported back to the core. */
 struct PathAccessResult
 {
@@ -174,6 +176,15 @@ class MemPath
         llcAccesses_ = 0;
     }
 
+    /**
+     * Registers the whole memory path — per-bank LLC stats, D-NUCA
+     * structures (VTB, coherence walks, per-VC UMONs), NoC, and
+     * memory controllers — under @p top ("" for the primary path,
+     * "ideal." for the contention-free twin). Call after all VCs are
+     * registered so every UMON exists.
+     */
+    void registerStats(StatRegistry &reg, const std::string &top);
+
   private:
     MeshTopology mesh_;
     MemorySystem memory_;
@@ -189,6 +200,13 @@ class MemPath
     std::uint64_t llcAccesses_ = 0;
     std::uint32_t lastAttackers_ = 0;
     bool migrate_ = true;
+
+    /** hopCounters_[h] = accesses whose core->bank route was h hops. */
+    std::vector<std::uint64_t> hopCounters_;
+    /** Lines displaced by coherence walks (reconfigurations). */
+    std::uint64_t coherenceWalkLines_ = 0;
+    /** Lines dropped by VM swap-in flushes. */
+    std::uint64_t vmFlushLines_ = 0;
 };
 
 } // namespace jumanji

@@ -4,6 +4,7 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
 
@@ -111,6 +112,22 @@ Umon::decay(double factor)
         static_cast<double>(sampledAccesses_) * factor);
     accesses_ = static_cast<std::uint64_t>(
         static_cast<double>(accesses_) * factor);
+}
+
+void
+Umon::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    // Counters are decayed/cleared each epoch, so they read as
+    // gauges: "activity this epoch", not monotone totals.
+    reg.addGauge(prefix + "accesses", "accesses observed this epoch",
+                 [this] { return static_cast<double>(accesses_); });
+    reg.addGauge(prefix + "sampledAccesses",
+                 "accesses past the hash sampler this epoch", [this] {
+                     return static_cast<double>(sampledAccesses_);
+                 });
+    reg.addGauge(prefix + "sampledMisses",
+                 "misses in the auxiliary directory this epoch",
+                 [this] { return static_cast<double>(missCounter_); });
 }
 
 void

@@ -15,12 +15,15 @@
 #define JUMANJI_DNUCA_UMON_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/dnuca/miss_curve.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
+
+class StatRegistry;
 
 /** UMON geometry. */
 struct UmonParams
@@ -68,6 +71,9 @@ class Umon
     void decay(double factor);
 
     const UmonParams &params() const { return params_; }
+
+    /** Registers UMON stats under @p prefix ("dnuca.umon03."). */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
 
   private:
     bool sampled(LineAddr line) const;

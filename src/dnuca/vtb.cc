@@ -7,6 +7,7 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
 
@@ -194,6 +195,17 @@ void
 Vtb::install(VcId vc, const PlacementDescriptor &desc)
 {
     table_[vc] = desc;
+    installs_++;
+}
+
+void
+Vtb::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + "installs",
+                   "descriptor installs (including replacements)",
+                   &installs_);
+    reg.addGauge(prefix + "entries", "VCs with a descriptor installed",
+                 [this] { return static_cast<double>(table_.size()); });
 }
 
 const PlacementDescriptor &

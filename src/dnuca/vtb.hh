@@ -15,11 +15,14 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "src/sim/types.hh"
 
 namespace jumanji {
+
+class StatRegistry;
 
 /**
  * A placement descriptor: 128 slots, each naming the LLC bank that
@@ -105,10 +108,17 @@ class Vtb
 
     std::size_t size() const { return table_.size(); }
 
+    /** Descriptor installs since construction (includes replacements). */
+    std::uint64_t installs() const { return installs_; }
+
+    /** Registers VTB stats under @p prefix ("dnuca.vtb."). */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+
   private:
     // Ordered so that any walk over installed descriptors (stats,
     // debugging dumps) visits VCs in a deterministic order.
     std::map<VcId, PlacementDescriptor> table_;
+    std::uint64_t installs_ = 0;
 };
 
 } // namespace jumanji

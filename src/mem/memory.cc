@@ -4,6 +4,7 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
 
@@ -11,7 +12,10 @@ MemorySystem::MemorySystem(const MemoryParams &params,
                            const MeshTopology &mesh)
     : params_(params),
       busyUntil_(std::max(1u, params.controllers)),
-      lcBusyUntil_(std::max(1u, params.controllers), 0)
+      lcBusyUntil_(std::max(1u, params.controllers), 0),
+      mcAccesses_(std::max(1u, params.controllers), 0),
+      mcQueueCycles_(std::max(1u, params.controllers), 0),
+      mcLcAccesses_(std::max(1u, params.controllers), 0)
 {
     if (params.controllers == 0)
         fatal("MemorySystem: need at least one controller");
@@ -68,6 +72,9 @@ MemorySystem::access(Tick now, LineAddr line, VmId vm,
         result.latency = result.queueDelay + params_.accessLatency;
         accesses_++;
         queueCycles_ += result.queueDelay;
+        mcAccesses_[result.controller]++;
+        mcQueueCycles_[result.controller] += result.queueDelay;
+        mcLcAccesses_[result.controller]++;
         return result;
     }
 
@@ -89,7 +96,29 @@ MemorySystem::access(Tick now, LineAddr line, VmId vm,
 
     accesses_++;
     queueCycles_ += result.queueDelay;
+    mcAccesses_[result.controller]++;
+    mcQueueCycles_[result.controller] += result.queueDelay;
     return result;
+}
+
+void
+MemorySystem::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + "accesses", "memory accesses across all MCs",
+                   &accesses_);
+    reg.addCounter(prefix + "queueCycles",
+                   "cycles queued at memory controllers", &queueCycles_);
+    for (std::uint32_t mc = 0; mc < mcAccesses_.size(); mc++) {
+        std::string p = prefix + "mc" + statIndexName(mc) + ".";
+        reg.addCounter(p + "accesses", "accesses at this controller",
+                       &mcAccesses_[mc]);
+        reg.addCounter(p + "queueCycles",
+                       "queue cycles at this controller",
+                       &mcQueueCycles_[mc]);
+        reg.addCounter(p + "lcAccesses",
+                       "accesses served from the reserved LC share",
+                       &mcLcAccesses_[mc]);
+    }
 }
 
 } // namespace jumanji

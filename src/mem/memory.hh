@@ -13,12 +13,15 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "src/noc/mesh.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
+
+class StatRegistry;
 
 /** Memory system parameters. */
 struct MemoryParams
@@ -81,6 +84,12 @@ class MemorySystem
 
     const MemoryParams &params() const { return params_; }
 
+    /**
+     * Registers aggregate and per-controller stats under @p prefix
+     * ("mem." -> "mem.accesses", "mem.mc02.queueCycles", ...).
+     */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+
   private:
     MemoryParams params_;
     std::vector<std::uint32_t> cornerTiles_;
@@ -96,6 +105,10 @@ class MemorySystem
 
     std::uint64_t accesses_ = 0;
     std::uint64_t queueCycles_ = 0;
+    /** Per-controller breakdowns, indexed by controller id. */
+    std::vector<std::uint64_t> mcAccesses_;
+    std::vector<std::uint64_t> mcQueueCycles_;
+    std::vector<std::uint64_t> mcLcAccesses_;
 };
 
 } // namespace jumanji

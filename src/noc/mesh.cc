@@ -4,8 +4,17 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
 
 namespace jumanji {
+
+void
+MeshTopology::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.addCounter(prefix + "linkWaitCycles",
+                   "cycles messages waited on busy links",
+                   &linkWaitCycles_);
+}
 
 MeshTopology::MeshTopology(const MeshParams &params)
     : params_(params),

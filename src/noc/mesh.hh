@@ -15,11 +15,14 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "src/sim/types.hh"
 
 namespace jumanji {
+
+class StatRegistry;
 
 /** Mesh timing/geometry parameters. */
 struct MeshParams
@@ -94,6 +97,9 @@ class MeshTopology
 
     /** Total cycles spent waiting on busy links (contention stat). */
     std::uint64_t linkWaitCycles() const { return linkWaitCycles_; }
+
+    /** Registers NoC stats under @p prefix ("noc."). */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
 
   private:
     /** Directed link index: 4 per tile (E, W, S, N). */

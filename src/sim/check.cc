@@ -1,5 +1,10 @@
 #include "src/sim/check.hh"
 
+// lint-allow-file: io-routing contract-failure reporting must reach
+// stderr even when the logging layer itself is the thing that broke,
+// so this file writes directly (mirrors how panic handlers avoid
+// re-entering the subsystem that failed).
+
 #include <cstdio>
 #include <sstream>
 

@@ -1,0 +1,447 @@
+#include "src/sim/statreg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "src/sim/check.hh"
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+namespace {
+
+/**
+ * Numbers in dumps: counters and integral values print without a
+ * fractional part so JSON consumers see integers; everything else
+ * prints with full round-trip precision.
+ */
+std::string
+formatNumber(double v)
+{
+    char buf[40];
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::fabs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v);
+    } else if (std::isfinite(v)) {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    } else {
+        // JSON has no Inf/NaN literals; clamp to null.
+        return "null";
+    }
+    return buf;
+}
+
+bool
+validStatName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok) return false;
+    }
+    return name.find("..") == std::string::npos;
+}
+
+} // namespace
+
+std::string
+statIndexName(std::uint64_t index, int width)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%0*llu", width,
+                  static_cast<unsigned long long>(index));
+    return buf;
+}
+
+// ------------------------------------------------------- StatRegistry
+
+const StatRegistry::Node &
+StatRegistry::insert(const std::string &name, Node node)
+{
+    if (!validStatName(name))
+        panic("StatRegistry: invalid stat name '" + name +
+              "' (lowercase dotted paths only)");
+    // A name that is also a parent path of another stat ("llc" next
+    // to "llc.hits") would emit duplicate keys in the nested dump.
+    std::string asParent = name + ".";
+    auto next = nodes_.lower_bound(name);
+    if (next != nodes_.end() &&
+        next->first.compare(0, asParent.size(), asParent) == 0)
+        panic("StatRegistry: '" + name + "' is a parent path of '" +
+              next->first + "'");
+    if (next != nodes_.begin()) {
+        const std::string &prev = std::prev(next)->first;
+        if (name.compare(0, prev.size() + 1, prev + ".") == 0)
+            panic("StatRegistry: '" + name +
+                  "' nests under existing stat '" + prev + "'");
+    }
+    auto [it, inserted] = nodes_.emplace(name, std::move(node));
+    // Cold path, so the duplicate check stays active in every build
+    // type: a silently rebound stat would corrupt dumps and the
+    // fingerprint stream.
+    if (!inserted)
+        panic("StatRegistry: duplicate stat name '" + name + "'");
+    return it->second;
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const std::string &desc,
+                         const std::uint64_t *value)
+{
+    JUMANJI_ASSERT(value != nullptr, "counter must bind a value");
+    Node n;
+    n.kind = Kind::Counter;
+    n.desc = desc;
+    n.counter = value;
+    insert(name, std::move(n));
+}
+
+void
+StatRegistry::addGauge(const std::string &name, const std::string &desc,
+                       std::function<double()> read)
+{
+    JUMANJI_ASSERT(static_cast<bool>(read), "gauge must bind a reader");
+    Node n;
+    n.kind = Kind::Gauge;
+    n.desc = desc;
+    n.read = std::move(read);
+    insert(name, std::move(n));
+}
+
+void
+StatRegistry::addFormula(const std::string &name, const std::string &desc,
+                         std::function<double()> eval)
+{
+    JUMANJI_ASSERT(static_cast<bool>(eval), "formula must bind an eval");
+    Node n;
+    n.kind = Kind::Formula;
+    n.desc = desc;
+    n.read = std::move(eval);
+    insert(name, std::move(n));
+}
+
+void
+StatRegistry::addDistribution(const std::string &name,
+                              const std::string &desc,
+                              const SampleStat *samples)
+{
+    JUMANJI_ASSERT(samples != nullptr, "distribution must bind samples");
+    Node n;
+    n.kind = Kind::Distribution;
+    n.desc = desc;
+    n.samples = samples;
+    insert(name, std::move(n));
+}
+
+void
+StatRegistry::addDistribution(const std::string &name,
+                              const std::string &desc,
+                              const Histogram *hist)
+{
+    JUMANJI_ASSERT(hist != nullptr, "distribution must bind a histogram");
+    Node n;
+    n.kind = Kind::Distribution;
+    n.desc = desc;
+    n.hist = hist;
+    insert(name, std::move(n));
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return nodes_.count(name) > 0;
+}
+
+void
+StatRegistry::appendLeaves(const std::string &name, const Node &node,
+                           std::vector<StatValue> &out) const
+{
+    switch (node.kind) {
+    case Kind::Counter:
+        out.push_back({name, static_cast<double>(*node.counter)});
+        return;
+    case Kind::Gauge:
+    case Kind::Formula:
+        out.push_back({name, node.read()});
+        return;
+    case Kind::Distribution:
+        break;
+    }
+    if (node.samples != nullptr) {
+        const SampleStat &s = *node.samples;
+        out.push_back({name + ".count",
+                       static_cast<double>(s.count())});
+        out.push_back({name + ".mean", s.mean()});
+        out.push_back({name + ".min", s.min()});
+        out.push_back({name + ".max", s.max()});
+        out.push_back({name + ".p50", s.percentile(50.0)});
+        out.push_back({name + ".p95", s.percentile(95.0)});
+        out.push_back({name + ".p99", s.percentile(99.0)});
+        return;
+    }
+    const Histogram &h = *node.hist;
+    out.push_back({name + ".total", static_cast<double>(h.total())});
+    out.push_back({name + ".underflow",
+                   static_cast<double>(h.underflow())});
+    out.push_back({name + ".overflow",
+                   static_cast<double>(h.overflow())});
+    for (std::size_t b = 0; b < h.numBins(); b++) {
+        out.push_back({name + ".b" + statIndexName(b),
+                       static_cast<double>(h.counts()[b + 1])});
+    }
+}
+
+namespace {
+
+/**
+ * Snapshots are sorted by full leaf name: node names come out of the
+ * map ordered, but distribution expansions append their suffixes in
+ * summary order (.count, .mean, ...), and consumers (binary search in
+ * RunResult::stat, the nested-JSON grouper) need a total order.
+ */
+void
+sortByName(std::vector<StatValue> &stats)
+{
+    std::sort(stats.begin(), stats.end(),
+              [](const StatValue &a, const StatValue &b) {
+                  return a.name < b.name;
+              });
+}
+
+} // namespace
+
+std::vector<StatValue>
+StatRegistry::snapshot() const
+{
+    std::vector<StatValue> out;
+    out.reserve(nodes_.size());
+    for (const auto &[name, node] : nodes_)
+        appendLeaves(name, node, out);
+    sortByName(out);
+    return out;
+}
+
+std::vector<StatValue>
+StatRegistry::snapshot(const std::vector<std::string> &selectors) const
+{
+    std::vector<StatValue> out;
+    for (const auto &[name, node] : nodes_) {
+        bool selected = false;
+        for (const auto &sel : selectors) {
+            if (name.compare(0, sel.size(), sel) == 0) {
+                selected = true;
+                break;
+            }
+        }
+        if (selected) appendLeaves(name, node, out);
+    }
+    sortByName(out);
+    return out;
+}
+
+std::vector<std::string>
+StatRegistry::leaves(const std::vector<std::string> &selectors) const
+{
+    std::vector<std::string> names;
+    for (const StatValue &sv : snapshot(selectors))
+        names.push_back(sv.name);
+    return names;
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    auto it = nodes_.find(name);
+    if (it != nodes_.end() && it->second.kind != Kind::Distribution) {
+        const Node &n = it->second;
+        return n.kind == Kind::Counter
+                   ? static_cast<double>(*n.counter)
+                   : n.read();
+    }
+    // Distribution leaves ("x.p95"): strip the last component and
+    // expand the parent node.
+    std::size_t dot = name.rfind('.');
+    if (dot != std::string::npos) {
+        auto parent = nodes_.find(name.substr(0, dot));
+        if (parent != nodes_.end() &&
+            parent->second.kind == Kind::Distribution) {
+            std::vector<StatValue> expanded;
+            appendLeaves(parent->first, parent->second, expanded);
+            for (const StatValue &sv : expanded)
+                if (sv.name == name) return sv.value;
+        }
+    }
+    panic("StatRegistry::value: unknown stat '" + name + "'");
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os) const
+{
+    writeNestedStatsJson(os, snapshot());
+}
+
+void
+StatRegistry::fold(Fingerprint &fp) const
+{
+    std::vector<StatValue> snap = snapshot();
+    fp.addU64(snap.size());
+    for (const StatValue &sv : snap) {
+        fp.addString(sv.name);
+        fp.addDouble(sv.value);
+    }
+}
+
+// --------------------------------------------------- TimelineSeries
+
+std::size_t
+TimelineSeries::columnIndex(const std::string &column) const
+{
+    for (std::size_t i = 0; i < columns.size(); i++)
+        if (columns[i] == column) return i;
+    return static_cast<std::size_t>(-1);
+}
+
+void
+TimelineSeries::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const auto &c : columns) os << ',' << c;
+    os << '\n';
+    for (std::size_t r = 0; r < rows.size(); r++) {
+        os << ticks[r];
+        for (double v : rows[r]) os << ',' << formatNumber(v);
+        os << '\n';
+    }
+}
+
+void
+TimelineSeries::writeJson(std::ostream &os) const
+{
+    os << "{\"columns\": [";
+    for (std::size_t i = 0; i < columns.size(); i++)
+        os << (i ? ", " : "") << '"' << columns[i] << '"';
+    os << "], \"ticks\": [";
+    for (std::size_t i = 0; i < ticks.size(); i++)
+        os << (i ? ", " : "") << ticks[i];
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < rows.size(); r++) {
+        os << (r ? ", " : "") << '[';
+        for (std::size_t c = 0; c < rows[r].size(); c++)
+            os << (c ? ", " : "") << formatNumber(rows[r][c]);
+        os << ']';
+    }
+    os << "]}";
+}
+
+void
+TimelineSeries::fold(Fingerprint &fp) const
+{
+    fp.addU64(columns.size());
+    for (const auto &c : columns) fp.addString(c);
+    fp.addU64(ticks.size());
+    for (Tick t : ticks) fp.addU64(t);
+    for (const auto &row : rows)
+        for (double v : row) fp.addDouble(v);
+}
+
+// ---------------------------------------------------- EpochRecorder
+
+EpochRecorder::EpochRecorder(const StatRegistry *reg,
+                             std::vector<std::string> selectors)
+    : reg_(reg), selectors_(std::move(selectors))
+{
+    JUMANJI_ASSERT(reg_ != nullptr, "recorder needs a registry");
+}
+
+void
+EpochRecorder::record(Tick now)
+{
+    if (!resolved_) {
+        series_.columns = reg_->leaves(selectors_);
+        resolved_ = true;
+    }
+    std::vector<StatValue> snap = reg_->snapshot(selectors_);
+    // Registration after the first record() would desynchronize rows
+    // from the column header; the registry is ordered, so a same-size
+    // snapshot has the same leaves.
+    JUMANJI_INVARIANT(snap.size() == series_.columns.size(),
+                      "stats registered after the first epoch record");
+    series_.ticks.push_back(now);
+    std::vector<double> row;
+    row.reserve(snap.size());
+    for (const StatValue &sv : snap) row.push_back(sv.value);
+    series_.rows.push_back(std::move(row));
+}
+
+// ---------------------------------------------- writeNestedStatsJson
+
+namespace {
+
+void
+writeIndent(std::ostream &os, int depth)
+{
+    for (int i = 0; i < depth; i++) os << "  ";
+}
+
+/**
+ * Emits the subtree of entries in [begin, end) that share the prefix
+ * ending at @p depth path components. The input is sorted by name, so
+ * each subtree occupies a contiguous range.
+ */
+void
+writeSubtree(std::ostream &os,
+             const std::vector<StatValue> &stats, std::size_t begin,
+             std::size_t end, std::size_t prefixLen, int depth)
+{
+    os << "{";
+    bool first = true;
+    std::size_t i = begin;
+    while (i < end) {
+        const std::string &name = stats[i].name;
+        std::size_t dot = name.find('.', prefixLen);
+        std::string key = dot == std::string::npos
+                              ? name.substr(prefixLen)
+                              : name.substr(prefixLen, dot - prefixLen);
+        if (!first) os << ",";
+        first = false;
+        os << '\n';
+        writeIndent(os, depth + 1);
+        os << '"' << key << "\": ";
+        if (dot == std::string::npos) {
+            os << formatNumber(stats[i].value);
+            i++;
+            continue;
+        }
+        // Group every entry sharing "prefix.key." into one child.
+        std::string childPrefix = name.substr(0, dot + 1);
+        std::size_t j = i;
+        while (j < end &&
+               stats[j].name.compare(0, childPrefix.size(),
+                                     childPrefix) == 0)
+            j++;
+        writeSubtree(os, stats, i, j, childPrefix.size(), depth + 1);
+        i = j;
+    }
+    if (!first) {
+        os << '\n';
+        writeIndent(os, depth);
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writeNestedStatsJson(std::ostream &os,
+                     const std::vector<StatValue> &stats, int indent)
+{
+    writeSubtree(os, stats, 0, stats.size(), 0, indent);
+}
+
+} // namespace jumanji

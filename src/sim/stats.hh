@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -65,8 +66,12 @@ class SampleStat
     }
 
     /**
-     * The p-th percentile (0 <= p <= 100) using nearest-rank on the
-     * sorted samples; 0 if empty.
+     * The p-th percentile (0 <= p <= 100) by linear interpolation
+     * between the two nearest ranks of the sorted samples (the
+     * "exclusive" definition used by numpy's default): the fractional
+     * rank p/100 * (n-1) blends samples[floor] and samples[ceil] by
+     * its fractional part. p=0 and p=100 are exactly min and max.
+     * Returns 0 if empty.
      */
     double
     percentile(double p) const
@@ -96,13 +101,21 @@ class SampleStat
     mutable bool sorted_ = true;
 };
 
-/** A fixed-bucket histogram for dense distributions (access times). */
+/**
+ * A fixed-bucket histogram for dense distributions (access times).
+ *
+ * Layout: counts()[0] is the underflow bucket (v < lo), counts()[1]
+ * through counts()[buckets] are the equal-width in-range bins
+ * [lo, lo+w) ... [hi-w, hi), and counts()[buckets+1] is the overflow
+ * bucket (v >= hi). Underflow gets its own bucket so out-of-range
+ * lows are never conflated with the first in-range bin.
+ */
 class Histogram
 {
   public:
-    /** Buckets [lo, hi) split into @p buckets equal bins + overflow. */
+    /** Buckets [lo, hi) split into @p buckets equal bins. */
     Histogram(double lo, double hi, std::size_t buckets)
-        : lo_(lo), hi_(hi), counts_(buckets + 1, 0)
+        : lo_(lo), hi_(hi), counts_(buckets + 2, 0)
     {
     }
 
@@ -113,18 +126,30 @@ class Histogram
         if (v < lo_) { counts_.front()++; return; }
         if (v >= hi_) { counts_.back()++; return; }
         auto idx = static_cast<std::size_t>(
-            (v - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size() - 1));
-        counts_[idx]++;
+            (v - lo_) / (hi_ - lo_) * static_cast<double>(numBins()));
+        counts_[idx + 1]++;
     }
 
     std::uint64_t total() const { return total_; }
     const std::vector<std::uint64_t> &counts() const { return counts_; }
 
+    /** In-range bins, excluding the underflow/overflow buckets. */
+    std::size_t numBins() const { return counts_.size() - 2; }
+
+    std::uint64_t underflow() const { return counts_.front(); }
+    std::uint64_t overflow() const { return counts_.back(); }
+
+    /**
+     * Lower bound of bucket @p i in counts() order: -infinity for
+     * the underflow bucket, hi for the overflow bucket.
+     */
     double
     bucketLow(std::size_t i) const
     {
-        return lo_ + (hi_ - lo_) * static_cast<double>(i) /
-               static_cast<double>(counts_.size() - 1);
+        if (i == 0) return -std::numeric_limits<double>::infinity();
+        if (i >= counts_.size() - 1) return hi_;
+        return lo_ + (hi_ - lo_) * static_cast<double>(i - 1) /
+               static_cast<double>(numBins());
     }
 
   private:

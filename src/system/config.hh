@@ -14,6 +14,8 @@
 #define JUMANJI_SYSTEM_CONFIG_HH
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "src/core/feedback_controller.hh"
 #include "src/core/policies.hh"
@@ -24,6 +26,8 @@
 #include "src/sim/types.hh"
 
 namespace jumanji {
+
+class Tracer;
 
 /** Load levels from Table III (fraction of service capacity). */
 enum class LoadLevel
@@ -115,6 +119,25 @@ struct SystemConfig
      * of pegging their controllers at max allocation (DESIGN.md).
      */
     double deadlinePadding = 1.6;
+
+    // ---- Observability ----
+
+    /**
+     * Event tracer (non-owning; nullptr = tracing off, the default).
+     * The System allocates its own lane block via Tracer::beginRun,
+     * so several Systems may share one tracer.
+     */
+    Tracer *tracer = nullptr;
+
+    /** Label prefixed to this run's trace process names. */
+    std::string traceLabel = "system";
+
+    /**
+     * Dotted-name prefixes selecting which registry leaves the
+     * per-epoch recorder samples (see EpochRecorder).
+     */
+    std::vector<std::string> timelineStats = {"apps.", "epoch.",
+                                              "llc.bank", "runtime."};
 
     /** Table II parameters with paper-scale time constants. */
     static SystemConfig paperDefault();

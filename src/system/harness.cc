@@ -49,6 +49,7 @@ ExperimentHarness::calibrationFor(const std::string &lcName)
         cfg.design = LlcDesign::Static;
         cfg.utilizationOverride = 0.05;
         cfg.measureTicks *= 2;
+        cfg.tracer = nullptr; // internal run; keep traces clean
         System system(cfg, solo);
         RunResult run = system.run();
         for (const auto &app : run.apps) {
@@ -70,6 +71,7 @@ ExperimentHarness::calibrationFor(const std::string &lcName)
         SystemConfig cfg = base_;
         cfg.design = LlcDesign::Static;
         cfg.load = LoadLevel::High;
+        cfg.tracer = nullptr; // internal run; keep traces clean
         // The deadline is a distribution tail; use a long window so
         // it is stable across harness instances.
         cfg.measureTicks *= 4;
@@ -114,6 +116,7 @@ ExperimentHarness::runMix(const WorkloadMix &mix,
     SystemConfig staticCfg = base_;
     staticCfg.design = LlcDesign::Static;
     staticCfg.load = load;
+    staticCfg.traceLabel = base_.traceLabel + " Static";
     System staticSystem(staticCfg, mix, calibrations);
     RunResult staticRun = staticSystem.run();
 
@@ -132,6 +135,8 @@ ExperimentHarness::runMix(const WorkloadMix &mix,
         SystemConfig cfg = base_;
         cfg.design = design;
         cfg.load = load;
+        cfg.traceLabel =
+            base_.traceLabel + " " + llcDesignName(design);
         System system(cfg, mix, calibrations);
         DesignResult dr;
         dr.design = design;
@@ -247,6 +252,17 @@ fingerprintRun(Fingerprint &fp, const RunResult &run)
     fp.addU64(run.measuredTicks);
     fp.addU64(run.reconfigurations);
     fp.addU64(run.coherenceInvalidations);
+
+    // The registry stream: every leaf name and value, plus the
+    // per-epoch timeline. Folding names as well as values means a
+    // stat that silently vanishes (or is renamed) also trips the
+    // self-check, not just a value divergence.
+    fp.addU64(run.statDump.size());
+    for (const StatValue &sv : run.statDump) {
+        fp.addString(sv.name);
+        fp.addDouble(sv.value);
+    }
+    run.timeline.fold(fp);
 }
 
 void

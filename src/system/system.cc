@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/sim/logging.hh"
+#include "src/sim/tracing.hh"
 #include "src/workloads/spec_like.hh"
 
 namespace jumanji {
@@ -57,6 +58,24 @@ class System::Sampler : public Agent
             series.push_back(mean);
             lastWindow_[app] = all.size();
         }
+
+        // Snapshot the registry after the runtime's reconfiguration
+        // (scheduled before this agent at the same tick) and after
+        // the epoch gauges above were refreshed.
+        sys_->recorder_->record(now);
+
+#if !defined(JUMANJI_DISABLE_TRACING)
+        if (Tracer *tracer = sys_->config_.tracer) {
+            std::uint32_t banksPid =
+                sys_->tracePid_ + Tracer::kBanksPid;
+            for (std::uint32_t b = 0; b < path.numBanks(); b++) {
+                tracer->counter(
+                    banksPid, sys_->bankTrackNames_[b].c_str(), now,
+                    static_cast<double>(
+                        path.bank(b).constArray().validLines()));
+            }
+        }
+#endif
         return now + period_;
     }
 
@@ -120,6 +139,11 @@ System::System(const SystemConfig &config, const WorkloadMix &mix,
     path_->setMigrateOnReconfig(config_.migrateOnReconfig);
     if (idealBatchPath_)
         idealBatchPath_->setMigrateOnReconfig(config_.migrateOnReconfig);
+
+    registerStats();
+    recorder_ = std::make_unique<EpochRecorder>(&statreg_,
+                                                config_.timelineStats);
+    setupTracing();
 
     // Initial placement before any app runs, then steady epochs.
     runtime_->reconfigureNow(0);
@@ -247,10 +271,19 @@ System::buildApps(const WorkloadMix &,
             slot.deadline = deadline;
 
             // Listing 1: request completions feed the controller.
+            // Traced runs also get one span per request on the
+            // app's core lane.
             RuntimeDriver *rt = runtime_.get();
+            std::uint32_t tile = slot.tile;
             tailApp->setCompletionListener(
-                [rt, vcId](Tick, double latency) {
-                    rt->requestCompleted(vcId, latency);
+                [this, rt, vcId, tile](Tick now, double latency) {
+                    auto dur = static_cast<Tick>(latency);
+                    JUMANJI_TRACE(
+                        config_.tracer,
+                        complete(tracePid_ + Tracer::kCoresPid, tile,
+                                 "request", now > dur ? now - dur : 0,
+                                 dur));
+                    rt->requestCompleted(vcId, latency, now);
                 });
             app = std::move(tailApp);
         }
@@ -289,6 +322,152 @@ System::buildApps(const WorkloadMix &,
             Rng(config_.seed * 104729 + i * 31 + 7)));
         apps_.push_back(std::move(app));
     }
+}
+
+void
+System::registerStats()
+{
+    // Component subtrees. The contention-free twin registers under
+    // "ideal." so selectors like "llc.bank" only match the primary
+    // path and timeline columns stay identical across designs.
+    path_->registerStats(statreg_, "");
+    if (idealBatchPath_)
+        idealBatchPath_->registerStats(statreg_, "ideal.");
+    runtime_->registerStats(statreg_, "runtime.");
+
+    for (std::size_t i = 0; i < cores_.size(); i++) {
+        const AppSlot &slot = slots_[i];
+        std::string prefix = "apps.a" + statIndexName(i) + ".";
+        cores_[i]->registerStats(statreg_, prefix);
+        statreg_.addGauge(prefix + "tile", "tile hosting this app",
+                          [this, i] {
+                              return static_cast<double>(slots_[i].tile);
+                          });
+        if (!slot.latencyCritical) continue;
+        auto *tail = dynamic_cast<TailLatencyApp *>(apps_[i].get());
+        if (tail == nullptr) continue;
+        statreg_.addDistribution(prefix + "reqLatency",
+                                 "end-to-end request latency (cycles)",
+                                 &tail->latencies());
+        statreg_.addGauge(prefix + "deadline",
+                          "tail-latency deadline (cycles)", [this, i] {
+                              return slots_[i].deadline;
+                          });
+        // latencyTimeline_ is keyed by app *name*: each sampled epoch
+        // appends one entry per instance of that name, in tailApps()
+        // (== slot) order. Index this instance's entry of the latest
+        // epoch via its rank among same-name LC slots.
+        std::string name = slot.name;
+        std::size_t rank = 0, total = 0;
+        for (std::size_t j = 0; j < slots_.size(); j++) {
+            if (!slots_[j].latencyCritical || slots_[j].name != name)
+                continue;
+            if (j < i) rank++;
+            total++;
+        }
+        statreg_.addGauge(
+            prefix + "epochLatency",
+            "mean request latency over the last sampled epoch",
+            [this, name, rank, total] {
+                auto it = latencyTimeline_.find(name);
+                if (it == latencyTimeline_.end() ||
+                    it->second.size() < total)
+                    return 0.0;
+                return it->second[it->second.size() - total + rank];
+            });
+    }
+
+    statreg_.addGauge("epoch.index", "epochs sampled so far", [this] {
+        return static_cast<double>(vulnTimeline_.size());
+    });
+    statreg_.addGauge("epoch.vuln",
+                      "attackers per access over the last epoch",
+                      [this] {
+                          return vulnTimeline_.empty()
+                                     ? 0.0
+                                     : vulnTimeline_.back();
+                      });
+
+    statreg_.addFormula(
+        "sys.attackersPerAccess",
+        "attackers per access since the last epoch clear", [this] {
+            double sum = path_->avgAttackersPerAccess() *
+                         static_cast<double>(path_->llcAccesses());
+            std::uint64_t n = path_->llcAccesses();
+            if (idealBatchPath_) {
+                sum += idealBatchPath_->avgAttackersPerAccess() *
+                       static_cast<double>(
+                           idealBatchPath_->llcAccesses());
+                n += idealBatchPath_->llcAccesses();
+            }
+            return n == 0 ? 0.0 : sum / static_cast<double>(n);
+        });
+    statreg_.addFormula(
+        "sys.tail.meanRatio",
+        "mean over LC apps of p95 tail / deadline", [this] {
+            double sum = 0.0;
+            int n = 0;
+            for (std::size_t i = 0; i < apps_.size(); i++) {
+                if (!slots_[i].latencyCritical ||
+                    slots_[i].deadline <= 0.0) {
+                    continue;
+                }
+                auto *tail =
+                    dynamic_cast<TailLatencyApp *>(apps_[i].get());
+                if (tail == nullptr) continue;
+                sum += tail->latencies().percentile(95.0) /
+                       slots_[i].deadline;
+                n++;
+            }
+            return n == 0 ? 0.0 : sum / n;
+        });
+    statreg_.addFormula(
+        "sys.tail.worstRatio",
+        "max over LC apps of p95 tail / deadline", [this] {
+            double worst = 0.0;
+            for (std::size_t i = 0; i < apps_.size(); i++) {
+                if (!slots_[i].latencyCritical ||
+                    slots_[i].deadline <= 0.0) {
+                    continue;
+                }
+                auto *tail =
+                    dynamic_cast<TailLatencyApp *>(apps_[i].get());
+                if (tail == nullptr) continue;
+                worst = std::max(worst,
+                                 tail->latencies().percentile(95.0) /
+                                     slots_[i].deadline);
+            }
+            return worst;
+        });
+}
+
+void
+System::setupTracing()
+{
+#if !defined(JUMANJI_DISABLE_TRACING)
+    Tracer *tracer = config_.tracer;
+    if (tracer == nullptr) return;
+
+    tracePid_ = tracer->beginRun(config_.traceLabel);
+    runtime_->setTracer(tracer, tracePid_);
+
+    // Counter-track names must outlive every counter() call: the
+    // tracer keeps raw char pointers until serialization, so the
+    // vector is filled once here and never touched again.
+    bankTrackNames_.reserve(path_->numBanks());
+    for (std::uint32_t b = 0; b < path_->numBanks(); b++)
+        bankTrackNames_.push_back("occupancy.bank" + statIndexName(b));
+
+    tracer->threadName(tracePid_ + Tracer::kRuntimePid, 0, "placement");
+    for (const AppSlot &slot : slots_) {
+        tracer->threadName(tracePid_ + Tracer::kCoresPid, slot.tile,
+                           "core" + statIndexName(slot.tile) + " " +
+                               slot.name);
+    }
+    for (std::uint32_t b = 0; b < path_->numBanks(); b++)
+        tracer->threadName(tracePid_ + Tracer::kBanksPid, b,
+                           "bank" + statIndexName(b));
+#endif
 }
 
 void
@@ -381,6 +560,9 @@ System::collect()
         result.energy += dataMovementEnergy(ar.counters);
         result.apps.push_back(std::move(ar));
     }
+
+    result.statDump = statreg_.snapshot();
+    result.timeline = recorder_->series();
     return result;
 }
 
@@ -391,6 +573,18 @@ System::run()
     startMeasurement();
     runUntil(config_.warmupTicks + config_.measureTicks);
     return collect();
+}
+
+double
+RunResult::stat(const std::string &name, double fallback) const
+{
+    auto it = std::lower_bound(
+        statDump.begin(), statDump.end(), name,
+        [](const StatValue &sv, const std::string &n) {
+            return sv.name < n;
+        });
+    if (it == statDump.end() || it->name != name) return fallback;
+    return it->value;
 }
 
 double

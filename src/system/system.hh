@@ -21,6 +21,7 @@
 #include "src/metrics/energy.hh"
 #include "src/metrics/speedup.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/statreg.hh"
 #include "src/system/config.hh"
 #include "src/workloads/mixes.hh"
 #include "src/workloads/tail_latency.hh"
@@ -65,6 +66,20 @@ struct RunResult
     Tick measuredTicks = 0;
     std::uint64_t reconfigurations = 0;
     std::uint64_t coherenceInvalidations = 0;
+
+    /**
+     * End-of-run registry snapshot (every leaf, sorted by name) and
+     * the per-epoch time series the recorder sampled. Both outlive
+     * the System that produced them.
+     */
+    std::vector<StatValue> statDump;
+    TimelineSeries timeline;
+
+    /**
+     * Value of registry leaf @p name in statDump, or @p fallback when
+     * the leaf does not exist.
+     */
+    double stat(const std::string &name, double fallback = 0.0) const;
 
     /** Weighted speedup of batch apps vs. a reference run. */
     double batchWeightedSpeedup(const RunResult &reference) const;
@@ -117,6 +132,12 @@ class System
     EventQueue &queue() { return queue_; }
     const SystemConfig &config() const { return config_; }
 
+    /** The hierarchical stats registry (read-only queries). */
+    const StatRegistry &stats() const { return statreg_; }
+
+    /** The per-epoch recorder feeding RunResult::timeline. */
+    const EpochRecorder &recorder() const { return *recorder_; }
+
     /** The epoch-by-epoch allocation timeline (Fig. 4b). */
     const std::vector<EpochRecord> &
     allocationTimeline() const
@@ -163,6 +184,10 @@ class System
     void assignTiles(const WorkloadMix &mix);
     void buildApps(const WorkloadMix &mix,
                    const LcCalibrationMap &calibrations);
+    /** Populates statreg_; runs after buildApps so UMONs exist. */
+    void registerStats();
+    /** Allocates trace lanes and attaches the tracer, if any. */
+    void setupTracing();
 
     SystemConfig config_;
     EventQueue queue_;
@@ -170,6 +195,15 @@ class System
     std::unique_ptr<MemPath> idealBatchPath_;
     std::unique_ptr<RuntimeDriver> runtime_;
     std::unique_ptr<Sampler> sampler_;
+
+    /** Declared before recorder_: the recorder samples it. */
+    StatRegistry statreg_;
+    std::unique_ptr<EpochRecorder> recorder_;
+
+    /** Trace lane block (valid when config_.tracer != nullptr). */
+    std::uint32_t tracePid_ = 0;
+    /** Stable per-bank counter-track names (c_str handed to tracer). */
+    std::vector<std::string> bankTrackNames_;
 
     struct AppSlot
     {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/sim/event_queue.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/rng.hh"
@@ -206,7 +208,54 @@ TEST(Histogram, BucketsAndOverflow)
     h.add(95.0);
     h.add(1000.0); // overflow
     EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.numBins(), 10u);
+    EXPECT_EQ(h.counts().size(), 12u); // underflow + 10 bins + overflow
+    EXPECT_EQ(h.counts()[1], 1u);      // 5.0 -> first in-range bin
+    EXPECT_EQ(h.counts()[10], 1u);     // 95.0 -> last in-range bin
+    EXPECT_EQ(h.overflow(), 1u);
     EXPECT_EQ(h.counts().back(), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, UnderflowHasItsOwnBucket)
+{
+    // Out-of-range lows must not be conflated with the first
+    // in-range bin [lo, lo+w).
+    Histogram h(10.0, 20.0, 5);
+    h.add(3.0);  // underflow
+    h.add(-1.0); // underflow
+    h.add(10.0); // first in-range bin
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 2u);
+    EXPECT_EQ(h.counts().front(), 2u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, BucketLowCoversUnderflowAndOverflow)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_EQ(h.bucketLow(0),
+              -std::numeric_limits<double>::infinity());
+    EXPECT_DOUBLE_EQ(h.bucketLow(1), 10.0); // first in-range bin
+    EXPECT_DOUBLE_EQ(h.bucketLow(2), 12.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(5), 18.0); // last in-range bin
+    EXPECT_DOUBLE_EQ(h.bucketLow(6), 20.0); // overflow bucket
+}
+
+TEST(SampleStat, PercentileLinearInterpolationPinned)
+{
+    // Regression for the documented definition: linear interpolation
+    // between the two nearest ranks (numpy's default). With samples
+    // {10, 20, 30, 40, 50}, rank(p) = p/100 * 4.
+    SampleStat stat;
+    for (double v : {50.0, 10.0, 40.0, 20.0, 30.0}) stat.add(v);
+    EXPECT_DOUBLE_EQ(stat.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(stat.percentile(50.0), 30.0);
+    EXPECT_DOUBLE_EQ(stat.percentile(25.0), 20.0);
+    // p95: rank 3.8 -> 40 * 0.2 + 50 * 0.8 = 48.
+    EXPECT_DOUBLE_EQ(stat.percentile(95.0), 48.0);
+    EXPECT_DOUBLE_EQ(stat.percentile(100.0), 50.0);
 }
 
 TEST(Logging, FatalThrows)

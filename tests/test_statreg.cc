@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stats registry and the epoch
+ * time-series recorder (src/sim/statreg.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
+
+namespace jumanji {
+namespace {
+
+TEST(StatRegistry, CounterBindsLiveValue)
+{
+    std::uint64_t hits = 0;
+    StatRegistry reg;
+    reg.addCounter("llc.bank00.hits", "bank hits", &hits);
+    EXPECT_TRUE(reg.has("llc.bank00.hits"));
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.value("llc.bank00.hits"), 0.0);
+    hits = 42; // registry reads through, never copies
+    EXPECT_DOUBLE_EQ(reg.value("llc.bank00.hits"), 42.0);
+}
+
+TEST(StatRegistry, GaugeAndFormulaEvaluateOnRead)
+{
+    double level = 1.5;
+    StatRegistry reg;
+    reg.addGauge("mem.queue", "queue depth", [&] { return level; });
+    reg.addFormula("mem.queue2x", "doubled", [&] { return 2 * level; });
+    EXPECT_DOUBLE_EQ(reg.value("mem.queue"), 1.5);
+    level = 4.0;
+    EXPECT_DOUBLE_EQ(reg.value("mem.queue"), 4.0);
+    EXPECT_DOUBLE_EQ(reg.value("mem.queue2x"), 8.0);
+}
+
+TEST(StatRegistry, DottedLookupResolvesDistributionLeaves)
+{
+    SampleStat lat;
+    for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) lat.add(v);
+    StatRegistry reg;
+    reg.addDistribution("apps.a00.reqLatency", "latency", &lat);
+    EXPECT_TRUE(reg.has("apps.a00.reqLatency"));
+    // Leaves resolve through value() even though only the parent node
+    // is registered.
+    EXPECT_DOUBLE_EQ(reg.value("apps.a00.reqLatency.count"), 5.0);
+    EXPECT_DOUBLE_EQ(reg.value("apps.a00.reqLatency.mean"), 30.0);
+    EXPECT_DOUBLE_EQ(reg.value("apps.a00.reqLatency.min"), 10.0);
+    EXPECT_DOUBLE_EQ(reg.value("apps.a00.reqLatency.max"), 50.0);
+    EXPECT_DOUBLE_EQ(reg.value("apps.a00.reqLatency.p50"), 30.0);
+}
+
+TEST(StatRegistry, UnknownNamePanics)
+{
+    StatRegistry reg;
+    EXPECT_THROW(reg.value("no.such.stat"), PanicError);
+}
+
+TEST(StatRegistry, DuplicateNamePanics)
+{
+    std::uint64_t v = 0;
+    StatRegistry reg;
+    reg.addCounter("a.b", "first", &v);
+    EXPECT_THROW(reg.addCounter("a.b", "again", &v), PanicError);
+}
+
+TEST(StatRegistry, ParentChildCollisionPanics)
+{
+    std::uint64_t v = 0;
+    StatRegistry reg;
+    reg.addCounter("a.b", "leaf", &v);
+    // "a.b" is a leaf; "a.b.c" would make it a subtree too, which the
+    // nested JSON dump cannot represent.
+    EXPECT_THROW(reg.addCounter("a.b.c", "child of leaf", &v),
+                 PanicError);
+    StatRegistry reg2;
+    reg2.addCounter("a.b.c", "leaf", &v);
+    EXPECT_THROW(reg2.addCounter("a.b", "parent of leaf", &v),
+                 PanicError);
+}
+
+TEST(StatRegistry, InvalidNamePanics)
+{
+    std::uint64_t v = 0;
+    StatRegistry reg;
+    EXPECT_THROW(reg.addCounter("", "empty", &v), PanicError);
+    EXPECT_THROW(reg.addCounter(".leading", "dot", &v), PanicError);
+    EXPECT_THROW(reg.addCounter("trailing.", "dot", &v), PanicError);
+    EXPECT_THROW(reg.addCounter("a..b", "double dot", &v), PanicError);
+    EXPECT_THROW(reg.addCounter("a b", "space", &v), PanicError);
+}
+
+TEST(StatRegistry, SnapshotIsSortedByName)
+{
+    std::uint64_t v = 7;
+    SampleStat s;
+    s.add(1.0);
+    StatRegistry reg;
+    // Registered out of order on purpose; distribution leaf expansion
+    // (.count/.mean/...) is also not alphabetical at the source.
+    reg.addCounter("z.last", "z", &v);
+    reg.addDistribution("m.dist", "d", &s);
+    reg.addCounter("a.first", "a", &v);
+    auto snap = reg.snapshot();
+    ASSERT_GE(snap.size(), 3u);
+    for (std::size_t i = 1; i < snap.size(); i++)
+        EXPECT_LT(snap[i - 1].name, snap[i].name);
+}
+
+TEST(StatRegistry, SelectorSnapshotFiltersByPrefix)
+{
+    std::uint64_t a = 1, b = 2, c = 3;
+    StatRegistry reg;
+    reg.addCounter("llc.bank00.hits", "", &a);
+    reg.addCounter("llc.bank01.hits", "", &b);
+    reg.addCounter("noc.hops", "", &c);
+    auto snap = reg.snapshot({"llc.bank"});
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].name, "llc.bank00.hits");
+    EXPECT_EQ(snap[1].name, "llc.bank01.hits");
+    // Exact names also match.
+    auto exact = reg.snapshot({"noc.hops"});
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_DOUBLE_EQ(exact[0].value, 3.0);
+}
+
+TEST(StatRegistry, HistogramExpandsWithUnderflowOverflow)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(-1.0);
+    h.add(3.0);
+    h.add(99.0);
+    StatRegistry reg;
+    reg.addDistribution("noc.hopHist", "hops", &h);
+    EXPECT_DOUBLE_EQ(reg.value("noc.hopHist.total"), 3.0);
+    EXPECT_DOUBLE_EQ(reg.value("noc.hopHist.underflow"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("noc.hopHist.overflow"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("noc.hopHist.b00"), 1.0);
+    EXPECT_DOUBLE_EQ(reg.value("noc.hopHist.b01"), 0.0);
+}
+
+TEST(StatRegistry, JsonDumpGolden)
+{
+    std::uint64_t hits = 10, misses = 2;
+    StatRegistry reg;
+    reg.addCounter("llc.hits", "hits", &hits);
+    reg.addCounter("llc.misses", "misses", &misses);
+    reg.addGauge("sys.util", "utilization", [] { return 0.5; });
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(os.str(),
+              "{\n"
+              "  \"llc\": {\n"
+              "    \"hits\": 10,\n"
+              "    \"misses\": 2\n"
+              "  },\n"
+              "  \"sys\": {\n"
+              "    \"util\": 0.5\n"
+              "  }\n"
+              "}");
+}
+
+TEST(StatRegistry, FoldIsOrderIndependentOfRegistration)
+{
+    std::uint64_t x = 5, y = 9;
+    StatRegistry a, b;
+    a.addCounter("one", "", &x);
+    a.addCounter("two", "", &y);
+    b.addCounter("two", "", &y);
+    b.addCounter("one", "", &x);
+    Fingerprint fa, fb;
+    a.fold(fa);
+    b.fold(fb);
+    EXPECT_EQ(fa.value(), fb.value());
+}
+
+TEST(EpochRecorder, RecordsSelectedColumnsPerEpoch)
+{
+    std::uint64_t hits = 0;
+    double util = 0.0;
+    StatRegistry reg;
+    reg.addCounter("llc.hits", "", &hits);
+    reg.addGauge("sys.util", "", [&] { return util; });
+    reg.addCounter("noise.ignored", "", &hits);
+
+    EpochRecorder rec(&reg, {"llc.", "sys."});
+    hits = 10;
+    util = 0.25;
+    rec.record(1000);
+    hits = 30;
+    util = 0.75;
+    rec.record(2000);
+
+    EXPECT_EQ(rec.epochs(), 2u);
+    const TimelineSeries &ts = rec.series();
+    ASSERT_EQ(ts.columns.size(), 2u);
+    EXPECT_EQ(ts.columns[0], "llc.hits");
+    EXPECT_EQ(ts.columns[1], "sys.util");
+    ASSERT_EQ(ts.rows.size(), 2u);
+    EXPECT_EQ(ts.ticks[0], 1000u);
+    EXPECT_DOUBLE_EQ(ts.rows[0][0], 10.0);
+    EXPECT_DOUBLE_EQ(ts.rows[0][1], 0.25);
+    EXPECT_DOUBLE_EQ(ts.rows[1][0], 30.0);
+    EXPECT_DOUBLE_EQ(ts.rows[1][1], 0.75);
+    EXPECT_EQ(ts.columnIndex("sys.util"), 1u);
+}
+
+TEST(TimelineSeries, CsvAndJsonRoundTripShapes)
+{
+    TimelineSeries ts;
+    ts.columns = {"a", "b"};
+    ts.ticks = {10, 20};
+    ts.rows = {{1.0, 2.5}, {3.0, 4.0}};
+
+    std::ostringstream csv;
+    ts.writeCsv(csv);
+    EXPECT_EQ(csv.str(), "tick,a,b\n10,1,2.5\n20,3,4\n");
+
+    std::ostringstream json;
+    ts.writeJson(json);
+    EXPECT_NE(json.str().find("\"columns\": [\"a\", \"b\"]"),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"ticks\": [10, 20]"),
+              std::string::npos);
+}
+
+TEST(TimelineSeries, FoldCoversNamesTicksAndValues)
+{
+    TimelineSeries a;
+    a.columns = {"x"};
+    a.ticks = {5};
+    a.rows = {{1.0}};
+    TimelineSeries b = a;
+    Fingerprint fa, fb;
+    a.fold(fa);
+    b.fold(fb);
+    EXPECT_EQ(fa.value(), fb.value());
+
+    b.rows[0][0] = 2.0;
+    Fingerprint fc;
+    b.fold(fc);
+    EXPECT_NE(fa.value(), fc.value());
+}
+
+TEST(StatIndexName, FixedWidthFormatting)
+{
+    EXPECT_EQ(statIndexName(0), "00");
+    EXPECT_EQ(statIndexName(7), "07");
+    EXPECT_EQ(statIndexName(42), "42");
+    EXPECT_EQ(statIndexName(123), "123"); // grows past the pad width
+    EXPECT_EQ(statIndexName(3, 4), "0003");
+}
+
+} // namespace
+} // namespace jumanji

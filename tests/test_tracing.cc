@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the Chrome trace-event tracer (src/sim/tracing.hh):
+ * schema of the emitted JSON, pid-block allocation, and counter-name
+ * interning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+
+#include "src/sim/tracing.hh"
+
+namespace jumanji {
+namespace {
+
+/**
+ * A minimal recursive-descent JSON syntax checker. Good enough to
+ * prove the tracer's output is well-formed without a JSON library:
+ * values, nesting, and string escapes are all validated.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value()) return false;
+        skipWs();
+        return i_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (i_ >= s_.size()) return false;
+        switch (s_[i_]) {
+        case '{': return object();
+        case '[': return array();
+        case '"': return string();
+        case 't': return literal("true");
+        case 'f': return literal("false");
+        case 'n': return literal("null");
+        default: return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        i_++; // '{'
+        skipWs();
+        if (peek() == '}') { i_++; return true; }
+        while (true) {
+            skipWs();
+            if (!string()) return false;
+            skipWs();
+            if (peek() != ':') return false;
+            i_++;
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { i_++; continue; }
+            if (peek() == '}') { i_++; return true; }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        i_++; // '['
+        skipWs();
+        if (peek() == ']') { i_++; return true; }
+        while (true) {
+            skipWs();
+            if (!value()) return false;
+            skipWs();
+            if (peek() == ',') { i_++; continue; }
+            if (peek() == ']') { i_++; return true; }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"') return false;
+        i_++;
+        while (i_ < s_.size() && s_[i_] != '"') {
+            if (s_[i_] == '\\') i_++;
+            i_++;
+        }
+        if (i_ >= s_.size()) return false;
+        i_++; // closing '"'
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = i_;
+        if (peek() == '-') i_++;
+        while (i_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[i_])) != 0 ||
+                s_[i_] == '.' || s_[i_] == 'e' || s_[i_] == 'E' ||
+                s_[i_] == '+' || s_[i_] == '-'))
+            i_++;
+        return i_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::string w(word);
+        if (s_.compare(i_, w.size(), w) != 0) return false;
+        i_ += w.size();
+        return true;
+    }
+
+    char peek() const { return i_ < s_.size() ? s_[i_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (i_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[i_])) != 0)
+            i_++;
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+};
+
+std::string
+dump(const Tracer &tracer)
+{
+    std::ostringstream os;
+    tracer.writeTo(os);
+    return os.str();
+}
+
+TEST(Tracer, EmptyTraceIsValidJson)
+{
+    Tracer tracer;
+    std::string out = dump(tracer);
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_NE(out.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Tracer, BeginRunAllocatesDisjointPidBlocks)
+{
+    Tracer tracer;
+    std::uint32_t a = tracer.beginRun("mix0 Static");
+    std::uint32_t b = tracer.beginRun("mix0 Jumanji");
+    EXPECT_EQ(b, a + Tracer::kPidsPerRun);
+    // Three process_name metadata events per run.
+    EXPECT_EQ(tracer.eventCount(), 6u);
+    std::string out = dump(tracer);
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_NE(out.find("mix0 Static runtime"), std::string::npos);
+    EXPECT_NE(out.find("mix0 Jumanji banks"), std::string::npos);
+}
+
+TEST(Tracer, EventSchemaFields)
+{
+    Tracer tracer;
+    std::uint32_t pid = tracer.beginRun("run");
+    tracer.threadName(pid + Tracer::kCoresPid, 3, "core03 xapian");
+    tracer.complete(pid + Tracer::kCoresPid, 3, "request", 100, 40,
+                    {{"latency", 40.0}});
+    tracer.instant(pid + Tracer::kRuntimePid, 0, "repartition", 200,
+                   {{"epoch", 2.0}});
+    tracer.counter(pid + Tracer::kRuntimePid, "allocLines.vc00", 200,
+                   512.0);
+    std::string out = dump(tracer);
+    ASSERT_TRUE(JsonChecker(out).valid()) << out;
+
+    // Complete events carry a duration.
+    EXPECT_NE(out.find("\"ph\": \"X\", \"name\": \"request\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"dur\": 40"), std::string::npos);
+    // Instants are thread-scoped so they draw on their lane.
+    EXPECT_NE(out.find("\"ph\": \"i\""), std::string::npos);
+    EXPECT_NE(out.find("\"s\": \"t\""), std::string::npos);
+    // Counters carry their sample in args.
+    EXPECT_NE(out.find("\"ph\": \"C\""), std::string::npos);
+    EXPECT_NE(out.find("\"value\": 512"), std::string::npos);
+    // Thread metadata names the lane.
+    EXPECT_NE(out.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(out.find("core03 xapian"), std::string::npos);
+}
+
+TEST(Tracer, CounterNamesSurviveCallerStorage)
+{
+    // Counter track names are interned: the tracer typically outlives
+    // the System that built the name strings.
+    Tracer tracer;
+    {
+        std::string transient = "occupancy.bank05";
+        tracer.counter(1, transient.c_str(), 10, 3.0);
+        transient.assign(200, 'x'); // clobber the old buffer
+    }
+    std::string out = dump(tracer);
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_NE(out.find("occupancy.bank05"), std::string::npos);
+}
+
+TEST(Tracer, NamesAreJsonEscaped)
+{
+    Tracer tracer;
+    tracer.threadName(1, 0, "weird \"name\"\nwith\tescapes");
+    std::string out = dump(tracer);
+    EXPECT_TRUE(JsonChecker(out).valid()) << out;
+    EXPECT_NE(out.find("\\\"name\\\""), std::string::npos);
+    EXPECT_NE(out.find("\\n"), std::string::npos);
+}
+
+TEST(Tracer, MacroCompilesToSingleBranch)
+{
+    Tracer tracer;
+    Tracer *enabled = &tracer;
+    Tracer *disabled = nullptr;
+    JUMANJI_TRACE(enabled, instant(1, 0, "hit", 5));
+    JUMANJI_TRACE(disabled, instant(1, 0, "never", 5));
+    EXPECT_EQ(tracer.eventCount(), 1u);
+}
+
+} // namespace
+} // namespace jumanji

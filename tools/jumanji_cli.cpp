@@ -16,6 +16,12 @@
  *     --paper-scale        use the full Table II capacity/time scale
  *     --selfcheck          run the experiment twice and compare stats
  *                          fingerprints (determinism self-check)
+ *     --stats-json <file>  write the full hierarchical stats registry
+ *                          of every run as nested JSON
+ *     --timeline-csv <file> write the per-epoch recorder series of
+ *                          every run as one long-format CSV
+ *     --trace-out <file>   write a Chrome trace-event JSON covering
+ *                          all runs (chrome://tracing / Perfetto)
  *
  * Prints one row per design: tail ratio (mean/worst over LC apps),
  * gmean batch weighted speedup vs. Static, and attackers/access.
@@ -29,10 +35,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/sim/logging.hh"
+#include "src/sim/statreg.hh"
+#include "src/sim/tracing.hh"
 #include "src/system/harness.hh"
 
 using namespace jumanji;
@@ -45,9 +55,80 @@ usage(const char *argv0, int exitCode = 2)
     std::fprintf(exitCode == 0 ? stdout : stderr,
                  "usage: %s [--design <name>] [--lc <name|Mixed>] "
                  "[--load low|high] [--vms N] [--batch N] [--mixes N] "
-                 "[--seed N] [--paper-scale] [--selfcheck]\n",
+                 "[--seed N] [--paper-scale] [--selfcheck] "
+                 "[--stats-json FILE] [--timeline-csv FILE] "
+                 "[--trace-out FILE]\n",
                  argv0);
     std::exit(exitCode);
+}
+
+/** "%.17g"-style round-trip formatting, integers without a fraction. */
+std::string
+csvNumber(double v)
+{
+    char buf[40];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -9.0e15 && v < 9.0e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    return buf;
+}
+
+/**
+ * {"mixes": [{"index": N, "designs": [{"design": ...,
+ * "stats": <nested registry dump>}, ...]}, ...]}
+ */
+void
+writeStatsJson(std::ostream &os, const std::vector<MixResult> &results)
+{
+    os << "{\"mixes\": [";
+    for (std::size_t m = 0; m < results.size(); m++) {
+        os << (m ? "," : "") << "\n  {\"index\": " << m
+           << ", \"designs\": [";
+        const auto &designs = results[m].designs;
+        for (std::size_t d = 0; d < designs.size(); d++) {
+            os << (d ? "," : "") << "\n    {\"design\": \""
+               << llcDesignName(designs[d].design)
+               << "\", \"stats\": ";
+            writeNestedStatsJson(os, designs[d].run.statDump, 2);
+            os << "}";
+        }
+        os << "\n  ]}";
+    }
+    os << "\n]}\n";
+}
+
+/**
+ * Long-format CSV: mix,design,epoch,tick,<col>,... One header per
+ * column set; a new header is emitted if a run's columns ever differ
+ * (they should not — selectors are fixed — but a silent mismatch
+ * would corrupt every later row).
+ */
+void
+writeTimelineCsv(std::ostream &os, const std::vector<MixResult> &results)
+{
+    const std::vector<std::string> *header = nullptr;
+    for (std::size_t m = 0; m < results.size(); m++) {
+        for (const auto &d : results[m].designs) {
+            const TimelineSeries &ts = d.run.timeline;
+            if (ts.empty()) continue;
+            if (header == nullptr || ts.columns != *header) {
+                os << "mix,design,epoch,tick";
+                for (const auto &c : ts.columns) os << ',' << c;
+                os << '\n';
+                header = &ts.columns;
+            }
+            for (std::size_t r = 0; r < ts.rows.size(); r++) {
+                os << m << ',' << llcDesignName(d.design) << ',' << r
+                   << ',' << ts.ticks[r];
+                for (double v : ts.rows[r]) os << ',' << csvNumber(v);
+                os << '\n';
+            }
+        }
+    }
 }
 
 LlcDesign
@@ -77,6 +158,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     bool paperScale = false;
     bool selfcheck = false;
+    std::string statsJsonPath, timelineCsvPath, traceOutPath;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -115,6 +197,12 @@ main(int argc, char **argv)
                 paperScale = true;
             } else if (arg == "--selfcheck") {
                 selfcheck = true;
+            } else if (arg == "--stats-json") {
+                statsJsonPath = next();
+            } else if (arg == "--timeline-csv") {
+                timelineCsvPath = next();
+            } else if (arg == "--trace-out") {
+                traceOutPath = next();
             } else if (arg == "--help" || arg == "-h") {
                 usage(argv[0], 0);
             } else {
@@ -148,12 +236,20 @@ main(int argc, char **argv)
     }
 
     try {
+        // One tracer shared across every measured run; each System
+        // opens its own pid block so lanes never collide. The tracer
+        // must outlive all harness runs.
+        std::unique_ptr<Tracer> tracer;
+        if (!traceOutPath.empty()) tracer = std::make_unique<Tracer>();
+
         auto runExperiment = [&]() {
             ExperimentHarness harness(cfg);
             std::vector<MixResult> results;
             for (std::uint32_t m = 0; m < mixes; m++) {
                 SystemConfig mixCfg = cfg;
                 mixCfg.seed = seed + m * 1000003ull;
+                mixCfg.tracer = tracer.get();
+                mixCfg.traceLabel = "mix" + std::to_string(m);
                 Rng rng(mixCfg.seed ^ 0x5eed);
                 WorkloadMix mix = makeMix(lcNames, vms, batchPerVm, rng);
                 ExperimentHarness local(harness);
@@ -161,6 +257,13 @@ main(int argc, char **argv)
                 results.push_back(local.runMix(mix, designs, load));
             }
             return results;
+        };
+
+        auto writeTrace = [&]() {
+            if (tracer == nullptr) return;
+            std::ofstream os(traceOutPath);
+            if (!os) fatal("cannot open " + traceOutPath);
+            tracer->writeTo(os);
         };
 
         if (selfcheck) {
@@ -173,10 +276,23 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(first),
                         static_cast<unsigned long long>(second),
                         first == second ? "OK" : "MISMATCH");
+            writeTrace(); // both repetitions, for what it's worth
             return first == second ? 0 : 1;
         }
 
         std::vector<MixResult> results = runExperiment();
+
+        if (!statsJsonPath.empty()) {
+            std::ofstream os(statsJsonPath);
+            if (!os) fatal("cannot open " + statsJsonPath);
+            writeStatsJson(os, results);
+        }
+        if (!timelineCsvPath.empty()) {
+            std::ofstream os(timelineCsvPath);
+            if (!os) fatal("cannot open " + timelineCsvPath);
+            writeTimelineCsv(os, results);
+        }
+        writeTrace();
 
         auto speedups = gmeanSpeedups(results);
         auto vuln = meanVulnerability(results);

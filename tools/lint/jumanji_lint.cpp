@@ -25,6 +25,13 @@
  *   no-float           float shortens doubles feeding Tick/latency
  *                      arithmetic and diverges across -ffast-math /
  *                      FMA settings; the project uses double only.
+ *   io-routing         direct stdio/iostream output (printf, fprintf,
+ *                      std::cout, ...) is banned in src/: diagnostics
+ *                      go through src/sim/logging.hh so --quiet and
+ *                      log capture work, and stats/trace output goes
+ *                      through the registry/tracer serializers. The
+ *                      designated sinks (sim/logging.cc,
+ *                      sim/statreg.cc, sim/tracing.cc) are exempt.
  *
  * Suppressions (justification required, reported in --json output):
  *   // lint-allow: <rule> <why>        same line or the line above
@@ -477,6 +484,70 @@ checkFloat(const SourceFile &sf, std::vector<Finding> &findings)
                "(32-bit rounding diverges across toolchains)");
 }
 
+// --- Rule: io-routing -------------------------------------------------
+
+bool
+pathEndsWith(const std::string &path, const std::string &suffix)
+{
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/**
+ * Only src/ is held to the routing discipline: tools, benches, and
+ * tests are user-facing programs whose job is to print.
+ */
+bool
+ioRoutingApplies(const std::string &path)
+{
+    if (path.find("src/") == std::string::npos) return false;
+    for (const char *sink :
+         {"sim/logging.cc", "sim/statreg.cc", "sim/tracing.cc"})
+        if (pathEndsWith(path, sink)) return false;
+    return true;
+}
+
+void
+checkIoRouting(const SourceFile &sf, std::vector<Finding> &findings)
+{
+    if (!ioRoutingApplies(sf.path)) return;
+    struct Banned
+    {
+        const char *word;
+        bool requiresCall;
+    };
+    static const Banned kBanned[] = {
+        {"printf", true},   {"fprintf", true}, {"vprintf", true},
+        {"vfprintf", true}, {"puts", true},    {"fputs", true},
+        {"fputc", true},    {"putc", true},    {"putchar", true},
+        {"fwrite", true},   {"cout", false},   {"cerr", false},
+        {"clog", false},
+    };
+    for (const auto &b : kBanned) {
+        for (std::size_t at : findWord(sf.code, b.word)) {
+            if (b.requiresCall) {
+                std::size_t after =
+                    skipSpaces(sf.code, at + std::strlen(b.word));
+                if (after >= sf.code.size() || sf.code[after] != '(')
+                    continue;
+                // Member calls (x.puts()) are not stdio.
+                std::size_t p = prevToken(sf.code, at);
+                if (p != std::string::npos &&
+                    (sf.code[p] == '.' ||
+                     (sf.code[p] == '>' && p > 0 &&
+                      sf.code[p - 1] == '-')))
+                    continue;
+            }
+            report(findings, sf, "io-routing", at,
+                   std::string(b.word) +
+                       ": direct output in src/ bypasses the logging "
+                       "(src/sim/logging.hh) and stats/trace "
+                       "serialization sinks");
+        }
+    }
+}
+
 // --- Driver -----------------------------------------------------------
 
 bool
@@ -609,6 +680,7 @@ main(int argc, char **argv)
         checkUnorderedIteration(sf, unorderedNames, findings);
         checkRawNewDelete(sf, findings);
         checkFloat(sf, findings);
+        checkIoRouting(sf, findings);
     }
 
     std::string output =
