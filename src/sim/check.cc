@@ -15,8 +15,28 @@ namespace jumanji {
 CheckContext &
 checkContext()
 {
-    static CheckContext ctx;
+    thread_local CheckContext ctx;
     return ctx;
+}
+
+CheckContextScope::CheckContextScope()
+{
+    CheckContext &ctx = checkContext();
+    JUMANJI_ASSERT(!ctx.active,
+                   "two live simulation runs on one worker thread");
+    ctx = CheckContext{};
+    ctx.active = true;
+}
+
+CheckContextScope::~CheckContextScope()
+{
+    checkContext() = CheckContext{};
+}
+
+bool
+checksActiveInCore()
+{
+    return JUMANJI_CHECKS_ACTIVE != 0;
 }
 
 namespace detail {

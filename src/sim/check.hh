@@ -58,10 +58,34 @@ struct CheckContext
     CoreId core = -1;
     /** Static string naming the current phase (never freed). */
     const char *phase = "startup";
+    /** True while a CheckContextScope (one live run) is open. */
+    bool active = false;
 };
 
-/** The process-wide context (the simulator is single-threaded). */
+/**
+ * The current thread's context. Each simulation runs single-threaded
+ * on one worker; making the context thread-local lets the driver run
+ * several independent Systems concurrently without their failure
+ * dumps (or the scope assert below) cross-talking.
+ */
 CheckContext &checkContext();
+
+/**
+ * RAII marker for one live simulation run on this worker thread.
+ * Entering resets the thread's context and, in Debug, asserts that no
+ * other run is live on the same thread — two interleaved runs would
+ * corrupt each other's failure context (and signal a driver bug:
+ * jobs must not nest). System::run() opens one per run.
+ */
+class CheckContextScope
+{
+  public:
+    CheckContextScope();
+    ~CheckContextScope();
+
+    CheckContextScope(const CheckContextScope &) = delete;
+    CheckContextScope &operator=(const CheckContextScope &) = delete;
+};
 
 /** Publishes the current simulated tick (called by the DES kernel). */
 inline void
@@ -90,6 +114,13 @@ checkSetPhase(const char *phase)
 {
     checkContext().phase = phase;
 }
+
+/**
+ * True when the core checking TU (check.cc) was compiled with
+ * contract checks active, i.e. whether CheckContextScope's liveness
+ * assert can fire in this build. Lets tests adapt to the build type.
+ */
+bool checksActiveInCore();
 
 namespace detail {
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/tracing.hh"
 #include "src/workloads/spec_like.hh"
@@ -569,6 +570,9 @@ System::collect()
 RunResult
 System::run()
 {
+    // One live run per worker thread: resets the thread's check
+    // context and (in Debug) rejects interleaved runs.
+    CheckContextScope runScope;
     runUntil(config_.warmupTicks);
     startMeasurement();
     runUntil(config_.warmupTicks + config_.measureTicks);

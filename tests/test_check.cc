@@ -10,7 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <future>
 #include <string>
+#include <thread>
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
@@ -130,6 +132,69 @@ TEST_F(CheckTest, ContextSettersAreObservable)
     EXPECT_EQ(checkContext().bank, 1);
     EXPECT_EQ(checkContext().core, 2);
     EXPECT_STREQ(checkContext().phase, "simulate");
+}
+
+TEST_F(CheckTest, ContextIsThreadLocal)
+{
+    // Each worker thread publishes into its own context: writes from
+    // another thread must never be observable here.
+    checkSetTick(111);
+    checkSetPhase("main");
+
+    std::promise<void> wrote;
+    std::promise<void> checked;
+    std::thread other([&] {
+        checkSetTick(222);
+        checkSetBank(9);
+        checkSetPhase("worker");
+        wrote.set_value();
+        // Hold the thread (and its context) alive until the main
+        // thread has verified isolation.
+        checked.get_future().wait();
+        EXPECT_EQ(checkContext().tick, 222u);
+        EXPECT_STREQ(checkContext().phase, "worker");
+    });
+    wrote.get_future().wait();
+    EXPECT_EQ(checkContext().tick, 111u);
+    EXPECT_EQ(checkContext().bank, kInvalidBank);
+    EXPECT_STREQ(checkContext().phase, "main");
+    checked.set_value();
+    other.join();
+}
+
+TEST_F(CheckTest, ScopeResetsContextOnEntryAndExit)
+{
+    checkSetTick(777);
+    checkSetPhase("stale");
+    {
+        CheckContextScope scope;
+        EXPECT_EQ(checkContext().tick, 0u);
+        EXPECT_STREQ(checkContext().phase, "startup");
+        EXPECT_TRUE(checkContext().active);
+    }
+    EXPECT_FALSE(checkContext().active);
+    EXPECT_EQ(checkContext().tick, 0u);
+}
+
+TEST_F(CheckTest, ScopeRejectsInterleavedRunsOnOneWorker)
+{
+    CheckContextScope live;
+    if (checksActiveInCore()) {
+        // A second live run on the same worker thread is a driver
+        // bug; Debug builds reject it.
+        EXPECT_THROW(CheckContextScope nested, PanicError);
+    } else {
+        EXPECT_NO_THROW(CheckContextScope nested);
+    }
+}
+
+TEST_F(CheckTest, ScopesOnDistinctThreadsDoNotCollide)
+{
+    CheckContextScope live;
+    std::thread other([] {
+        EXPECT_NO_THROW(CheckContextScope theirs);
+    });
+    other.join();
 }
 
 } // namespace
