@@ -4,8 +4,12 @@
  *
  * Every binary prints the rows/series of one table or figure from
  * the paper. Scale knobs:
- *   JUMANJI_MIXES=<n>  random batch mixes per configuration
- *   JUMANJI_SEED=<n>   base seed
+ *   JUMANJI_MIXES=<n>      random batch mixes per configuration
+ *   JUMANJI_SEED=<n>       base seed
+ *   JUMANJI_JOBS=<n>       driver worker threads (default 1; output
+ *                          is byte-identical for any value)
+ *   JUMANJI_CACHE_DIR=<d>  on-disk result cache (default: off)
+ *   JUMANJI_SUMMARY=<f>    append one driver summary line per batch
  */
 
 #ifndef JUMANJI_BENCH_BENCH_COMMON_HH
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/orchestrator.hh"
 #include "src/sim/logging.hh"
 #include "src/system/harness.hh"
 
@@ -60,6 +65,62 @@ inline void
 note(const std::string &text)
 {
     std::printf("note: %s\n", text.c_str());
+}
+
+/**
+ * The process-wide experiment driver, configured from the env knobs
+ * above. Every bench funnels its simulations through this one
+ * orchestrator so JUMANJI_JOBS/JUMANJI_CACHE_DIR apply uniformly and
+ * the driver.* stats cover the whole binary.
+ */
+inline driver::Orchestrator &
+orchestrator()
+{
+    static driver::Orchestrator orch([] {
+        driver::Orchestrator::Options opts;
+        opts.jobs = driver::jobCountFromEnv(1);
+        opts.cacheDir = driver::cacheDirFromEnv();
+        const char *summary = std::getenv("JUMANJI_SUMMARY");
+        if (summary != nullptr) opts.summaryPath = summary;
+        return opts;
+    }());
+    return orch;
+}
+
+/**
+ * Drop-in replacement for ExperimentHarness::sweep() that runs the
+ * mixes through the orchestrator — byte-identical results, any
+ * worker count.
+ */
+inline std::vector<MixResult>
+sweep(ExperimentHarness &harness,
+      const std::vector<std::string> &lcNames, std::uint32_t mixes,
+      const std::vector<LlcDesign> &designs, LoadLevel load)
+{
+    return driver::parallelSweep(harness, lcNames, mixes, designs,
+                                 load, orchestrator());
+}
+
+/**
+ * Runs a graph of independent jobs and unwraps the outcomes in
+ * submission order, aborting the bench on the first failed job (a
+ * figure with silently missing points would be worse than no
+ * figure).
+ */
+inline std::vector<MixResult>
+runJobs(const driver::JobGraph &graph)
+{
+    std::vector<driver::JobOutcome> outcomes =
+        orchestrator().run(graph);
+    std::vector<MixResult> results;
+    results.reserve(outcomes.size());
+    for (driver::JobId id = 0; id < outcomes.size(); id++) {
+        if (!outcomes[id].ok)
+            fatal("job " + graph.job(id).label +
+                  " failed: " + outcomes[id].error);
+        results.push_back(std::move(outcomes[id].result));
+    }
+    return results;
 }
 
 } // namespace bench

@@ -15,19 +15,12 @@ using namespace jumanji::bench;
 
 namespace {
 
-void
-runPoint(ExperimentHarness &harness, const std::string &label,
-         const ControllerParams &params, const WorkloadMix &mix)
+/** One sensitivity point: a label plus the controller under test. */
+struct Point
 {
-    SystemConfig cfg = harness.baseConfig();
-    cfg.controller = params;
-    ExperimentHarness local(cfg);
-    MixResult result =
-        local.runMix(mix, {LlcDesign::Jumanji}, LoadLevel::High);
-    const DesignResult &ju = result.of(LlcDesign::Jumanji);
-    std::printf("%-26s %12.3f %12.3f\n", label.c_str(),
-                ju.batchSpeedup, ju.meanTailRatio);
-}
+    std::string label;
+    ControllerParams params;
+};
 
 } // namespace
 
@@ -40,10 +33,8 @@ main()
     SystemConfig cfg = benchConfig();
     Rng rng(cfg.seed);
     WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
-    ExperimentHarness harness(cfg);
 
-    std::printf("%-26s %12s %12s\n", "parameters", "batchWS",
-                "tail ratio");
+    std::vector<Point> points;
 
     // Group 1: target latency range (lowFrac, highFrac).
     for (auto [lo, hi] : {std::pair{0.80, 0.90}, {0.85, 0.95},
@@ -54,7 +45,7 @@ main()
         char label[64];
         std::snprintf(label, sizeof label, "range [%.2f, %.2f]%s", lo,
                       hi, lo == 0.85 ? " *" : "");
-        runPoint(harness, label, p, mix);
+        points.push_back({label, p});
     }
 
     // Group 2: panic threshold.
@@ -64,7 +55,7 @@ main()
         char label[64];
         std::snprintf(label, sizeof label, "panic %.2f%s", panic,
                       panic == 1.10 ? " *" : "");
-        runPoint(harness, label, p, mix);
+        points.push_back({label, p});
     }
 
     // Group 3: step size.
@@ -74,7 +65,31 @@ main()
         char label[64];
         std::snprintf(label, sizeof label, "step %.2f%s", step,
                       step == 0.10 ? " *" : "");
-        runPoint(harness, label, p, mix);
+        points.push_back({label, p});
+    }
+
+    // Every point is an independent self-calibrating job (the serial
+    // version built a fresh one-shot harness per point): same
+    // results, fanned out over the worker pool.
+    driver::JobGraph graph;
+    for (const Point &point : points) {
+        driver::SweepJob job;
+        job.label = point.label;
+        job.config = cfg;
+        job.config.controller = point.params;
+        job.mix = mix;
+        job.designs = {LlcDesign::Jumanji};
+        job.load = LoadLevel::High;
+        graph.add(std::move(job));
+    }
+    std::vector<MixResult> results = runJobs(graph);
+
+    std::printf("%-26s %12s %12s\n", "parameters", "batchWS",
+                "tail ratio");
+    for (std::size_t i = 0; i < points.size(); i++) {
+        const DesignResult &ju = results[i].of(LlcDesign::Jumanji);
+        std::printf("%-26s %12.3f %12.3f\n", points[i].label.c_str(),
+                    ju.batchSpeedup, ju.meanTailRatio);
     }
 
     note("* = the paper's defaults. Paper: results change very "

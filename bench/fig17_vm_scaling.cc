@@ -21,10 +21,6 @@ main()
     std::uint32_t mixes = ExperimentHarness::mixCountFromEnv(3);
 
     SystemConfig cfg = benchConfig();
-    ExperimentHarness harness(cfg);
-
-    std::printf("%-22s %12s %12s %12s\n", "configuration", "batchWS",
-                "tail ratio", "attackers");
 
     struct Config
     {
@@ -33,25 +29,43 @@ main()
     };
     // The paper's six configurations from 1 VM (all apps trusted) to
     // 12 VMs (one per LC app + one per pair of batch apps).
-    for (Config c : {Config{1, "1 VM (all apps)"},
-                     Config{2, "2 x (2 LC + 8 B)"},
-                     Config{4, "4 x (1 LC + 4 B)"},
-                     Config{6, "6 VMs"},
-                     Config{8, "8 VMs"},
-                     Config{12, "12 VMs"}}) {
-        double ws = 0.0, tail = 0.0, attackers = 0.0;
+    const std::vector<Config> configs = {Config{1, "1 VM (all apps)"},
+                                         Config{2, "2 x (2 LC + 8 B)"},
+                                         Config{4, "4 x (1 LC + 4 B)"},
+                                         Config{6, "6 VMs"},
+                                         Config{8, "8 VMs"},
+                                         Config{12, "12 VMs"}};
+
+    // One self-calibrating job per (VM count, mix): the serial loop
+    // built a fresh harness per point, so every point is independent.
+    driver::JobGraph graph;
+    for (const Config &c : configs) {
         for (std::uint32_t m = 0; m < mixes; m++) {
             SystemConfig mixCfg = cfg;
             mixCfg.seed = cfg.seed + 1000003ull * m;
             Rng rng(mixCfg.seed ^ 0x5eed);
             WorkloadMix base = makeMix(allTailAppNames(), 4, 4, rng);
-            WorkloadMix mix = regroupMix(base, c.vms);
 
-            ExperimentHarness local(harness);
-            local.mutableBaseConfig() = mixCfg;
-            MixResult result = local.runMix(mix, {LlcDesign::Jumanji},
-                                            LoadLevel::High);
-            const DesignResult &ju = result.of(LlcDesign::Jumanji);
+            driver::SweepJob job;
+            job.label = std::string(c.label) + "/mix" +
+                        std::to_string(m);
+            job.config = mixCfg;
+            job.mix = regroupMix(base, c.vms);
+            job.designs = {LlcDesign::Jumanji};
+            job.load = LoadLevel::High;
+            graph.add(std::move(job));
+        }
+    }
+    std::vector<MixResult> all = runJobs(graph);
+
+    std::printf("%-22s %12s %12s %12s\n", "configuration", "batchWS",
+                "tail ratio", "attackers");
+    std::size_t next = 0;
+    for (const Config &c : configs) {
+        double ws = 0.0, tail = 0.0, attackers = 0.0;
+        for (std::uint32_t m = 0; m < mixes; m++) {
+            const DesignResult &ju =
+                all[next++].of(LlcDesign::Jumanji);
             ws += ju.batchSpeedup;
             tail += ju.meanTailRatio;
             attackers += ju.run.attackersPerAccess;

@@ -26,9 +26,8 @@ main()
         SystemConfig cfg = benchConfig();
         cfg.mesh.routerDelay = router;
         ExperimentHarness harness(cfg);
-        auto results = harness.sweep(allTailAppNames(), mixes,
-                                     {LlcDesign::Jumanji},
-                                     LoadLevel::High);
+        auto results = sweep(harness, allTailAppNames(), mixes,
+                             {LlcDesign::Jumanji}, LoadLevel::High);
         auto speedups = gmeanSpeedups(results);
         double tail = 0.0;
         for (const auto &mix : results)

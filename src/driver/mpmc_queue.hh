@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small blocking multi-producer/multi-consumer queue for the
+ * driver's worker pool. Mutex + condition variable, deliberately —
+ * the pool moves a handful of coarse jobs (each worth seconds of
+ * simulation), so contention is irrelevant and a lock-free design
+ * would buy nothing but audit surface. Correctness over cleverness.
+ *
+ * This header may only be included from src/driver/ and tests: the
+ * lint concurrency-routing rule bans threading primitives everywhere
+ * else in src/, keeping simulation code provably single-threaded.
+ */
+
+#ifndef JUMANJI_DRIVER_MPMC_QUEUE_HH
+#define JUMANJI_DRIVER_MPMC_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace jumanji {
+namespace driver {
+
+/**
+ * Unbounded FIFO. push() never blocks; pop() blocks until an item is
+ * available or the queue is closed and drained, returning nullopt
+ * only in the latter case (the pool's shutdown signal).
+ */
+template <typename T>
+class MpmcQueue
+{
+  public:
+    /** Enqueues one item (never blocks, never drops). */
+    void
+    push(T item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            items_.push_back(std::move(item));
+            if (items_.size() > peakDepth_) peakDepth_ = items_.size();
+        }
+        available_.notify_one();
+    }
+
+    /**
+     * Dequeues the oldest item, blocking while the queue is open but
+     * empty. Returns nullopt once the queue is closed *and* empty.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        available_.wait(lock,
+                        [this] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /** Wakes every blocked consumer once remaining items drain. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        available_.notify_all();
+    }
+
+    /** High-water mark of queued items (driver.queue.peakDepth). */
+    std::size_t
+    peakDepth() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return peakDepth_;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable available_;
+    std::deque<T> items_;
+    std::size_t peakDepth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace driver
+} // namespace jumanji
+
+#endif // JUMANJI_DRIVER_MPMC_QUEUE_HH

@@ -1,0 +1,294 @@
+#include "src/driver/orchestrator.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "src/driver/pool.hh"
+#include "src/sim/logging.hh"
+#include "src/workloads/mixes.hh"
+
+namespace jumanji {
+namespace driver {
+
+Orchestrator::Orchestrator(Options options)
+    : options_(std::move(options)), cache_(options_.cacheDir)
+{
+    if (options_.jobs == 0) options_.jobs = 1;
+    workerJobs_.assign(options_.jobs, 0);
+
+    statreg_.addCounter("driver.jobs.submitted",
+                        "jobs handed to run() across all invocations",
+                        &jobsSubmitted_);
+    statreg_.addCounter("driver.jobs.simulated",
+                        "jobs that ran a simulation on a worker",
+                        &jobsSimulated_);
+    statreg_.addCounter("driver.jobs.cached",
+                        "jobs answered from the result cache",
+                        &jobsCached_);
+    statreg_.addCounter("driver.jobs.failed",
+                        "jobs whose simulation threw", &jobsFailed_);
+    statreg_.addCounter("driver.calibrations.computed",
+                        "LC calibrations simulated on a worker",
+                        &calibrationsComputed_);
+    statreg_.addCounter("driver.calibrations.cached",
+                        "LC calibrations answered from the cache",
+                        &calibrationsCached_);
+    statreg_.addGauge("driver.queue.peakDepth",
+                      "high-water mark of queued tasks", [this] {
+                          return static_cast<double>(peakQueueDepth_);
+                      });
+    statreg_.addGauge("driver.workers", "worker-pool size", [this] {
+        return static_cast<double>(options_.jobs);
+    });
+    for (WorkerId w = 0; w < options_.jobs; w++)
+        statreg_.addCounter("driver.worker" + statIndexName(w) + ".jobs",
+                            "jobs executed by this worker",
+                            &workerJobs_[w]);
+}
+
+std::vector<JobOutcome>
+Orchestrator::run(const JobGraph &graph)
+{
+    const std::size_t n = graph.size();
+    std::vector<JobOutcome> outcomes(n);
+    jobsSubmitted_ += n;
+
+    const bool tracing = options_.tracer != nullptr;
+    std::vector<Tracer> jobTracers(tracing ? n : 0);
+    std::vector<WorkerId> ranOn(n, 0);
+
+    std::uint64_t cached = 0;
+    {
+        Pool pool(options_.jobs);
+        for (JobId id = 0; id < n; id++) {
+            const SweepJob &job = graph.job(id);
+            // Probe the cache on the submitting thread: a hit is a
+            // file read and never occupies a worker. Tracing bypasses
+            // the cache — a cached result has no trace events.
+            if (!tracing && job.cacheable && cache_.enabled()) {
+                if (auto hit = cache_.loadResult(jobKey(job))) {
+                    outcomes[id].ok = true;
+                    outcomes[id].fromCache = true;
+                    outcomes[id].result = std::move(*hit);
+                    cached++;
+                    continue;
+                }
+            }
+            pool.submit([this, &graph, &outcomes, &jobTracers, &ranOn,
+                         tracing, id](WorkerId w) {
+                const SweepJob &todo = graph.job(id);
+                JobOutcome &out = outcomes[id];
+                ranOn[id] = w;
+                workerJobs_[w] += 1;
+                SystemConfig cfg = todo.config;
+                // Jobs never share a tracer: private or none.
+                cfg.tracer = tracing ? &jobTracers[id] : nullptr;
+                try {
+                    if (todo.selfCalibrate) {
+                        ExperimentHarness local(cfg);
+                        out.result = local.runMix(todo.mix,
+                                                  todo.designs,
+                                                  todo.load);
+                    } else {
+                        out.result = ExperimentHarness::runCalibrated(
+                            cfg, todo.mix, todo.designs, todo.load,
+                            todo.calibrations);
+                    }
+                    out.ok = true;
+                } catch (const std::exception &e) {
+                    out.ok = false;
+                    out.error = e.what();
+                }
+                if (out.ok && !tracing && todo.cacheable)
+                    cache_.storeResult(jobKey(todo), out.result);
+            });
+        }
+        pool.drain();
+        if (pool.peakQueueDepth() > peakQueueDepth_)
+            peakQueueDepth_ = pool.peakQueueDepth();
+    }
+
+    std::uint64_t simulated = 0;
+    std::uint64_t failed = 0;
+    for (const JobOutcome &out : outcomes) {
+        if (out.fromCache) continue;
+        if (out.ok)
+            simulated++;
+        else
+            failed++;
+    }
+    jobsSimulated_ += simulated;
+    jobsCached_ += cached;
+    jobsFailed_ += failed;
+
+    if (tracing) {
+        // Submission-order merge: the combined trace is independent
+        // of which worker ran what or in what order jobs finished.
+        for (const Tracer &t : jobTracers)
+            options_.tracer->mergeFrom(t);
+        // The schedule lane *is* worker-dependent — that is its
+        // point: one lane per worker, one span per job, with the
+        // JobId as the (logical) timestamp.
+        std::uint32_t pid = options_.tracer->beginProcess(
+            "driver workers");
+        for (WorkerId w = 0; w < options_.jobs; w++)
+            options_.tracer->threadName(pid, w,
+                                        "worker " + statIndexName(w));
+        for (JobId id = 0; id < n; id++)
+            options_.tracer->complete(
+                pid, ranOn[id], "job", id, 1,
+                {{"job", static_cast<double>(id)}});
+    }
+
+    writeSummary(n, simulated, cached, failed);
+    return outcomes;
+}
+
+std::vector<LcCalibration>
+Orchestrator::runCalibrations(const std::vector<CalibrationJob> &requests)
+{
+    const std::size_t n = requests.size();
+    std::vector<LcCalibration> results(n);
+    std::vector<std::string> errors(n);
+
+    std::uint64_t cached = 0;
+    {
+        Pool pool(options_.jobs);
+        for (std::size_t i = 0; i < n; i++) {
+            std::string key = calibrationKey(requests[i].config,
+                                             requests[i].lcName);
+            if (auto hit = cache_.loadCalibration(key)) {
+                results[i] = *hit;
+                cached++;
+                continue;
+            }
+            pool.submit([this, &requests, &results, &errors, i,
+                         key](WorkerId) {
+                try {
+                    ExperimentHarness local(requests[i].config);
+                    results[i] =
+                        local.calibrationFor(requests[i].lcName);
+                    cache_.storeCalibration(key, results[i]);
+                } catch (const std::exception &e) {
+                    errors[i] = e.what();
+                }
+            });
+        }
+        pool.drain();
+        if (pool.peakQueueDepth() > peakQueueDepth_)
+            peakQueueDepth_ = pool.peakQueueDepth();
+    }
+
+    for (std::size_t i = 0; i < n; i++)
+        if (!errors[i].empty())
+            fatal("calibration of " + requests[i].lcName +
+                  " failed: " + errors[i]);
+    calibrationsComputed_ += n - cached;
+    calibrationsCached_ += cached;
+    return results;
+}
+
+void
+Orchestrator::writeSummary(std::uint64_t total, std::uint64_t simulated,
+                           std::uint64_t cached,
+                           std::uint64_t failed) const
+{
+    if (options_.summaryPath.empty()) return;
+    std::ofstream out(options_.summaryPath, std::ios::app);
+    if (!out) return;
+    out << "jobs=" << total << " simulated=" << simulated
+        << " cached=" << cached << " failed=" << failed
+        << " workers=" << options_.jobs << "\n";
+}
+
+std::vector<MixResult>
+parallelSweep(ExperimentHarness &harness,
+              const std::vector<std::string> &lcNames,
+              std::uint32_t numMixes,
+              const std::vector<LlcDesign> &designs, LoadLevel load,
+              Orchestrator &orchestrator)
+{
+    const SystemConfig base = harness.baseConfig();
+
+    // Phase A: materialize every sweep point. Seed derivation and
+    // mix generation replicate ExperimentHarness::sweep() exactly —
+    // this is what keeps parallel output byte-identical to serial.
+    struct MixPoint
+    {
+        SystemConfig config;
+        WorkloadMix mix;
+    };
+    std::vector<MixPoint> points;
+    points.reserve(numMixes);
+    for (std::uint32_t m = 0; m < numMixes; m++) {
+        SystemConfig cfg = base;
+        cfg.seed = base.seed + m * 1000003ull;
+        Rng mixRng(cfg.seed ^ 0x5eedull);
+        points.push_back({cfg, makeMix(lcNames, 4, 4, mixRng)});
+    }
+
+    // Phase B: calibrate in the serial lazy order — each uncalibrated
+    // LC app is calibrated with the config of the *first* mix that
+    // contains it, which is the config the serial sweep's lazy
+    // calibrationFor would have used.
+    std::vector<CalibrationJob> plan;
+    std::set<std::string> planned;
+    for (const MixPoint &p : points)
+        for (const VmSpec &vm : p.mix.vms)
+            for (const std::string &name : vm.lcApps)
+                if (!harness.hasCalibration(name) &&
+                    planned.insert(name).second)
+                    plan.push_back({name, p.config});
+    std::vector<LcCalibration> calibrations =
+        orchestrator.runCalibrations(plan);
+    for (std::size_t i = 0; i < plan.size(); i++)
+        harness.setCalibration(plan[i].lcName, calibrations[i]);
+
+    // Phase C: one pre-calibrated job per mix, merged in mix order.
+    JobGraph graph;
+    for (std::uint32_t m = 0; m < numMixes; m++) {
+        SweepJob job;
+        job.label = "mix" + statIndexName(m);
+        job.config = points[m].config;
+        job.mix = points[m].mix;
+        job.designs = designs;
+        job.load = load;
+        job.selfCalibrate = false;
+        job.calibrations = harness.calibrationsFor(points[m].mix);
+        graph.add(std::move(job));
+    }
+    std::vector<JobOutcome> outcomes = orchestrator.run(graph);
+
+    std::vector<MixResult> results;
+    results.reserve(outcomes.size());
+    for (JobId id = 0; id < outcomes.size(); id++) {
+        if (!outcomes[id].ok)
+            fatal("sweep job " + graph.job(id).label +
+                  " failed: " + outcomes[id].error);
+        results.push_back(std::move(outcomes[id].result));
+    }
+    return results;
+}
+
+std::uint32_t
+jobCountFromEnv(std::uint32_t fallback)
+{
+    const char *env = std::getenv("JUMANJI_JOBS");
+    if (env == nullptr) return fallback;
+    long value = std::strtol(env, nullptr, 10);
+    if (value <= 0) return fallback;
+    return static_cast<std::uint32_t>(value);
+}
+
+std::string
+cacheDirFromEnv()
+{
+    const char *env = std::getenv("JUMANJI_CACHE_DIR");
+    return env == nullptr ? std::string() : std::string(env);
+}
+
+} // namespace driver
+} // namespace jumanji

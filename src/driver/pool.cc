@@ -1,0 +1,49 @@
+#include "src/driver/pool.hh"
+
+#include "src/sim/check.hh"
+
+namespace jumanji {
+namespace driver {
+
+Pool::Pool(std::uint32_t workers)
+{
+    if (workers == 0) workers = 1;
+    workerCount_ = workers;
+    threads_.reserve(workers);
+    for (WorkerId id = 0; id < workers; id++) {
+        threads_.emplace_back([this, id] {
+            while (std::optional<Task> task = queue_.pop()) (*task)(id);
+        });
+    }
+}
+
+Pool::~Pool()
+{
+    if (!drained_) drain();
+}
+
+void
+Pool::submit(Task task)
+{
+    JUMANJI_ASSERT(!drained_, "Pool::submit after drain");
+    queue_.push(std::move(task));
+}
+
+void
+Pool::drain()
+{
+    if (drained_) return;
+    drained_ = true;
+    queue_.close();
+    for (std::thread &t : threads_) t.join();
+    threads_.clear();
+}
+
+std::uint32_t
+Pool::workers() const
+{
+    return workerCount_;
+}
+
+} // namespace driver
+} // namespace jumanji

@@ -65,6 +65,39 @@ Tracer::beginRun(const std::string &label)
     return base;
 }
 
+std::uint32_t
+Tracer::beginProcess(const std::string &name)
+{
+    std::uint32_t pid = nextPid_;
+    nextPid_ += 1;
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.name = "process_name";
+    e.strArg = name;
+    push(std::move(e));
+    return pid;
+}
+
+void
+Tracer::mergeFrom(const Tracer &other)
+{
+    // Pids allocated by `other` start at 1; shift that block to start
+    // at our next free pid.
+    std::uint32_t pidShift = nextPid_ - 1;
+    events_.reserve(events_.size() + other.events_.size());
+    for (const Event &e : other.events_) {
+        Event copy = e;
+        copy.pid = e.pid + pidShift;
+        // Counter names point into other's interned storage;
+        // complete/instant/metadata names are string literals with
+        // static storage and copy over as-is.
+        if (e.ph == 'C') copy.name = intern(e.name);
+        push(std::move(copy));
+    }
+    nextPid_ += other.nextPid_ - 1;
+}
+
 void
 Tracer::threadName(std::uint32_t pid, std::uint32_t tid,
                    const std::string &name)

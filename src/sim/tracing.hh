@@ -88,6 +88,23 @@ class Tracer
     void counter(std::uint32_t pid, const char *name, Tick ts,
                  double value);
 
+    /**
+     * Allocates a single-process lane block named @p name (the
+     * driver's per-worker lanes live in one such process, unlike the
+     * three-process blocks beginRun hands to Systems).
+     */
+    std::uint32_t beginProcess(const std::string &name);
+
+    /**
+     * Appends every event of @p other, remapping its pids into this
+     * tracer's pid space (and re-interning counter track names, whose
+     * storage dies with @p other). The driver gives each job a
+     * private tracer and merges them back in job-submission order, so
+     * a parallel run serializes the same trace regardless of which
+     * worker ran which job or in what order they finished.
+     */
+    void mergeFrom(const Tracer &other);
+
     std::size_t eventCount() const { return events_.size(); }
 
     /** Serializes the whole trace as one JSON object. */

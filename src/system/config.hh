@@ -152,6 +152,20 @@ struct SystemConfig
     PlacementGeometry placementGeometry() const;
 };
 
+class Fingerprint;
+
+/**
+ * Folds every result-affecting field of @p cfg into @p fp — the
+ * config half of the driver's content-addressed result-cache key
+ * (src/driver/result_cache.hh). Editing any parameter that can change
+ * simulation output must change this digest, so new SystemConfig
+ * fields must be added here (the cache would otherwise serve stale
+ * results). Observability handles (tracer, traceLabel) are excluded:
+ * they do not affect stats. timelineStats is included because it
+ * selects the recorded timeline columns, which RunResult carries.
+ */
+void foldConfig(Fingerprint &fp, const SystemConfig &cfg);
+
 } // namespace jumanji
 
 #endif // JUMANJI_SYSTEM_CONFIG_HH

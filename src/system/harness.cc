@@ -102,21 +102,43 @@ ExperimentHarness::calibrationsFor(const WorkloadMix &mix)
     return calibrations;
 }
 
+bool
+ExperimentHarness::hasCalibration(const std::string &lcName) const
+{
+    return calibrationCache_.find(lcName) != calibrationCache_.end();
+}
+
+void
+ExperimentHarness::setCalibration(const std::string &lcName,
+                                  const LcCalibration &calibration)
+{
+    calibrationCache_[lcName] = calibration;
+}
+
 MixResult
 ExperimentHarness::runMix(const WorkloadMix &mix,
                           const std::vector<LlcDesign> &designs,
                           LoadLevel load)
 {
+    return runCalibrated(base_, mix, designs, load,
+                         calibrationsFor(mix));
+}
+
+MixResult
+ExperimentHarness::runCalibrated(const SystemConfig &config,
+                                 const WorkloadMix &mix,
+                                 const std::vector<LlcDesign> &designs,
+                                 LoadLevel load,
+                                 const LcCalibrationMap &calibrations)
+{
     MixResult result;
     result.mix = mix;
 
-    auto calibrations = calibrationsFor(mix);
-
     // Static first: it is the normalization baseline.
-    SystemConfig staticCfg = base_;
+    SystemConfig staticCfg = config;
     staticCfg.design = LlcDesign::Static;
     staticCfg.load = load;
-    staticCfg.traceLabel = base_.traceLabel + " Static";
+    staticCfg.traceLabel = config.traceLabel + " Static";
     System staticSystem(staticCfg, mix, calibrations);
     RunResult staticRun = staticSystem.run();
 
@@ -132,11 +154,11 @@ ExperimentHarness::runMix(const WorkloadMix &mix,
 
     for (LlcDesign design : designs) {
         if (design == LlcDesign::Static) continue;
-        SystemConfig cfg = base_;
+        SystemConfig cfg = config;
         cfg.design = design;
         cfg.load = load;
         cfg.traceLabel =
-            base_.traceLabel + " " + llcDesignName(design);
+            config.traceLabel + " " + llcDesignName(design);
         System system(cfg, mix, calibrations);
         DesignResult dr;
         dr.design = design;
@@ -268,13 +290,7 @@ fingerprintRun(Fingerprint &fp, const RunResult &run)
 void
 fingerprintMix(Fingerprint &fp, const MixResult &mix)
 {
-    fp.addU64(mix.mix.vms.size());
-    for (const auto &vm : mix.mix.vms) {
-        fp.addU64(vm.lcApps.size());
-        for (const auto &name : vm.lcApps) fp.addString(name);
-        fp.addU64(vm.batchApps.size());
-        for (const auto &name : vm.batchApps) fp.addString(name);
-    }
+    foldMix(fp, mix.mix);
     fp.addU64(mix.designs.size());
     for (const auto &d : mix.designs) {
         fp.addI64(static_cast<std::int64_t>(d.design));

@@ -61,6 +61,17 @@ class ExperimentHarness
     /** Calibration map covering @p mix's LC apps. */
     LcCalibrationMap calibrationsFor(const WorkloadMix &mix);
 
+    /** True when @p lcName is already in the calibration cache. */
+    bool hasCalibration(const std::string &lcName) const;
+
+    /**
+     * Installs an externally computed calibration (e.g. one produced
+     * by a driver worker) into the cache, so later runs reuse it
+     * exactly as if calibrationFor had computed it here.
+     */
+    void setCalibration(const std::string &lcName,
+                        const LcCalibration &calibration);
+
     /**
      * Runs @p mix under every design in @p designs (Static is always
      * run first as the normalization baseline).
@@ -68,6 +79,20 @@ class ExperimentHarness
     MixResult runMix(const WorkloadMix &mix,
                      const std::vector<LlcDesign> &designs,
                      LoadLevel load);
+
+    /**
+     * The job-oriented entry point: one fully specified, self-
+     * contained sweep point. Equivalent to runMix on a harness whose
+     * base config is @p config and whose cache already holds
+     * @p calibrations — no harness state is read or written, so
+     * independent calls are safe to run on different worker threads
+     * (each constructs and runs its own single-threaded Systems).
+     */
+    static MixResult runCalibrated(const SystemConfig &config,
+                                   const WorkloadMix &mix,
+                                   const std::vector<LlcDesign> &designs,
+                                   LoadLevel load,
+                                   const LcCalibrationMap &calibrations);
 
     /**
      * The paper's standard sweep: @p numMixes random batch mixes for

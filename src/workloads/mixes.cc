@@ -1,5 +1,6 @@
 #include "src/workloads/mixes.hh"
 
+#include "src/sim/fingerprint.hh"
 #include "src/sim/logging.hh"
 #include "src/workloads/spec_like.hh"
 #include "src/workloads/tail_latency.hh"
@@ -58,6 +59,18 @@ regroupMix(const WorkloadMix &base, std::uint32_t vmCount)
     for (std::size_t i = 0; i < batch.size(); i++)
         mix.vms[i % vmCount].batchApps.push_back(batch[i]);
     return mix;
+}
+
+void
+foldMix(Fingerprint &fp, const WorkloadMix &mix)
+{
+    fp.addU64(mix.vms.size());
+    for (const VmSpec &vm : mix.vms) {
+        fp.addU64(vm.lcApps.size());
+        for (const std::string &name : vm.lcApps) fp.addString(name);
+        fp.addU64(vm.batchApps.size());
+        for (const std::string &name : vm.batchApps) fp.addString(name);
+    }
 }
 
 } // namespace jumanji

@@ -64,6 +64,14 @@ std::string randomBatchApp(Rng &rng);
 /** The five LC app names, catalog order. */
 std::vector<std::string> allTailAppNames();
 
+class Fingerprint;
+
+/**
+ * Folds the full workload spec (VM structure plus every app name, in
+ * order) into @p fp — the mix half of the driver's result-cache key.
+ */
+void foldMix(Fingerprint &fp, const WorkloadMix &mix);
+
 } // namespace jumanji
 
 #endif // JUMANJI_WORKLOADS_MIXES_HH

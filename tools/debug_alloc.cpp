@@ -2,18 +2,17 @@
 #include <cstdio>
 
 #include "src/sim/logging.hh"
-#include "src/system/harness.hh"
+#include "tools/debug_common.hh"
 
 using namespace jumanji;
+using namespace jumanji::debug;
 
 int
 main()
 {
     setQuiet(true);
-    SystemConfig cfg = SystemConfig::benchScaled();
-    cfg.seed = 1;
-    Rng rng(1);
-    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
+    SystemConfig cfg = debugConfig();
+    WorkloadMix mix = debugMix();
 
     ExperimentHarness harness(cfg);
     auto calib = harness.calibrationsFor(mix);
@@ -37,24 +36,17 @@ main()
                                                               : it->second;
             if (app.latencyCritical) lcTotal += lines;
             else batchTotal += lines;
-            double hit = 100.0 * static_cast<double>(app.counters.llcHits) /
-                         static_cast<double>(app.counters.llcHits +
-                                             app.counters.llcMisses);
             std::printf("  vm%d %-16s %s alloc=%6llu hit%%=%5.1f "
                         "ipc=%.3f lat=%.0f\n",
-                        app.vm, app.name.c_str(),
-                        app.latencyCritical ? "LC" : "B ",
-                        static_cast<unsigned long long>(lines), hit,
+                        app.vm, app.name.c_str(), appKind(app),
+                        ull(lines), hitPercent(app.counters),
                         app.progress.ipc(), app.avgAccessLatency);
         }
-        std::printf("  totals: LC=%llu batch=%llu of %llu\n",
-                    static_cast<unsigned long long>(lcTotal),
-                    static_cast<unsigned long long>(batchTotal),
-                    static_cast<unsigned long long>(
-                        cfg.placementGeometry().totalLines()));
+        std::printf("  totals: LC=%llu batch=%llu of %llu\n", ull(lcTotal),
+                    ull(batchTotal),
+                    ull(cfg.placementGeometry().totalLines()));
         std::printf("  invalidations total: %llu\n",
-                    static_cast<unsigned long long>(
-                        run.coherenceInvalidations));
+                    ull(run.coherenceInvalidations));
     }
     return 0;
 }

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared boilerplate for the developer scratch tools
+ * (debug_alloc, debug_solo, debug_scratch): the canonical debug
+ * config/mix and the per-app derived metrics each tool was
+ * re-deriving by hand. Debug tools print whatever they like — they
+ * are not goldens — but they should agree on what "hit%" means.
+ */
+
+#ifndef JUMANJI_TOOLS_DEBUG_COMMON_HH
+#define JUMANJI_TOOLS_DEBUG_COMMON_HH
+
+#include <cstdio>
+
+#include "src/system/harness.hh"
+
+namespace jumanji {
+namespace debug {
+
+/** The scratch tools' fixed config: bench scale, seed 1. */
+inline SystemConfig
+debugConfig()
+{
+    SystemConfig cfg = SystemConfig::benchScaled();
+    cfg.seed = 1;
+    return cfg;
+}
+
+/** The canonical scratch mix: 4 VMs x (1 xapian + 4 batch), seed 1. */
+inline WorkloadMix
+debugMix()
+{
+    Rng rng(1);
+    return makeMix({"xapian"}, 4, 4, rng);
+}
+
+/** LLC hit rate in percent; 0 when the app made no LLC accesses. */
+inline double
+hitPercent(const AccessCounters &c)
+{
+    double accesses = static_cast<double>(c.llcHits + c.llcMisses);
+    if (accesses == 0.0) return 0.0;
+    return 100.0 * static_cast<double>(c.llcHits) / accesses;
+}
+
+/** Column tag for an app row: latency-critical or batch. */
+inline const char *
+appKind(const AppResult &app)
+{
+    return app.latencyCritical ? "LC" : "B ";
+}
+
+/** printf-friendly cast for %llu columns. */
+inline unsigned long long
+ull(std::uint64_t v)
+{
+    return static_cast<unsigned long long>(v);
+}
+
+/** Dumps the calibration map the tools share (name, service, ddl). */
+inline void
+printCalibrations(const LcCalibrationMap &calib)
+{
+    for (const auto &[name, c] : calib)
+        std::printf("calib %s: service=%.0f deadline=%.0f (ratio %.2f)\n",
+                    name.c_str(), c.serviceCycles, c.deadline,
+                    c.deadline / c.serviceCycles);
+}
+
+} // namespace debug
+} // namespace jumanji
+
+#endif // JUMANJI_TOOLS_DEBUG_COMMON_HH

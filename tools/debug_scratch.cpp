@@ -1,9 +1,10 @@
 // Developer scratch harness: dumps per-design internals for one mix.
 #include <cstdio>
 
-#include "src/system/harness.hh"
+#include "tools/debug_common.hh"
 
 using namespace jumanji;
+using namespace jumanji::debug;
 
 static void
 dumpRun(const char *label, System &sys, const RunResult &run)
@@ -14,11 +15,6 @@ dumpRun(const char *label, System &sys, const RunResult &run)
                 run.worstTailRatio(), run.attackersPerAccess);
     for (const auto &app : run.apps) {
         const auto &c = app.counters;
-        double hitRate =
-            c.llcHits + c.llcMisses == 0
-                ? 0.0
-                : 100.0 * static_cast<double>(c.llcHits) /
-                      static_cast<double>(c.llcHits + c.llcMisses);
         double hops = c.llcHits + c.llcMisses == 0
                           ? 0.0
                           : static_cast<double>(c.nocHops) /
@@ -27,12 +23,11 @@ dumpRun(const char *label, System &sys, const RunResult &run)
         double acc = static_cast<double>(c.llcHits + c.llcMisses);
         std::printf("  app %-14s vm%d %s ipc=%.3f llcHit%%=%.1f hops=%.2f "
                     "lat=%.0f tail=%.0f ddl=%.0f reqs=%llu\n",
-                    app.name.c_str(), app.vm,
-                    app.latencyCritical ? "LC" : "B ", app.progress.ipc(),
-                    hitRate, hops,
+                    app.name.c_str(), app.vm, appKind(app),
+                    app.progress.ipc(), hitPercent(c), hops,
                     acc > 0 ? app.avgAccessLatency : 0.0,
                     app.tailLatency, app.deadline,
-                    static_cast<unsigned long long>(app.requestsCompleted));
+                    ull(app.requestsCompleted));
     }
     // Allocation timeline for LC apps (last few epochs).
     const auto &tl = sys.allocationTimeline();
@@ -42,28 +37,21 @@ dumpRun(const char *label, System &sys, const RunResult &run)
         std::printf("    epoch %2zu:", e);
         for (const auto &[vc, lines] : tl[e].allocLines) {
             if (vc % 5 == 0) // LC apps sit first in each VM (slot order)
-                std::printf(" vc%d=%llu", vc,
-                            static_cast<unsigned long long>(lines));
+                std::printf(" vc%d=%llu", vc, ull(lines));
         }
-        std::printf(" inval=%llu\n",
-                    static_cast<unsigned long long>(tl[e].invalidations));
+        std::printf(" inval=%llu\n", ull(tl[e].invalidations));
     }
 }
 
 int
 main()
 {
-    SystemConfig cfg = SystemConfig::benchScaled();
-    cfg.seed = 1;
-    Rng rng(1);
-    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
+    SystemConfig cfg = debugConfig();
+    WorkloadMix mix = debugMix();
 
     ExperimentHarness harness(cfg);
     auto calib = harness.calibrationsFor(mix);
-    for (const auto &[name, c] : calib)
-        std::printf("calib %s: service=%.0f deadline=%.0f (ratio %.2f)\n",
-                    name.c_str(), c.serviceCycles, c.deadline,
-                    c.deadline / c.serviceCycles);
+    printCalibrations(calib);
 
     MixResult result = harness.runMix(
         mix,

@@ -1,14 +1,15 @@
 // Scratch: inspect solo LC-app runs (calibration dynamics).
 #include <cstdio>
 
-#include "src/system/system.hh"
+#include "tools/debug_common.hh"
 
 using namespace jumanji;
+using namespace jumanji::debug;
 
 static void
 soloRun(const char *name, double util, LcCalibrationMap calib)
 {
-    SystemConfig cfg = SystemConfig::benchScaled();
+    SystemConfig cfg = debugConfig();
     cfg.design = LlcDesign::Static;
     if (util > 0) cfg.utilizationOverride = util;
     else cfg.load = LoadLevel::High;
@@ -30,12 +31,9 @@ soloRun(const char *name, double util, LcCalibrationMap calib)
                     lat.percentile(99), lat.max());
     }
     for (const auto &app : run.apps) {
-        const auto &c = app.counters;
-        double hit = 100.0 * static_cast<double>(c.llcHits) /
-                     static_cast<double>(c.llcHits + c.llcMisses);
-        std::printf("  hit%%=%.1f lat=%.0f instrs=%llu\n", hit,
-                    app.avgAccessLatency,
-                    static_cast<unsigned long long>(app.progress.instrs));
+        std::printf("  hit%%=%.1f lat=%.0f instrs=%llu\n",
+                    hitPercent(app.counters), app.avgAccessLatency,
+                    ull(app.progress.instrs));
     }
 }
 

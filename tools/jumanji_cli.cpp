@@ -14,8 +14,19 @@
  *     --mixes <n>          random batch mixes (default 3)
  *     --seed <n>           base seed (default 1)
  *     --paper-scale        use the full Table II capacity/time scale
+ *     --jobs <n>           worker threads (default $JUMANJI_JOBS or 1);
+ *                          output is byte-identical for any job count
+ *     --cache-dir <dir>    on-disk result cache keyed by
+ *                          Fingerprint(code version, config, mix)
+ *                          (default $JUMANJI_CACHE_DIR; unset = off)
+ *     --sweep              use the paper's standard sweep methodology
+ *                          (ExperimentHarness::sweep: calibrations
+ *                          shared across mixes, fixed 4 VM x 4 batch
+ *                          mixes) instead of the default independent
+ *                          per-mix calibration
  *     --selfcheck          run the experiment twice and compare stats
- *                          fingerprints (determinism self-check)
+ *                          fingerprints (determinism self-check;
+ *                          bypasses the result cache)
  *     --stats-json <file>  write the full hierarchical stats registry
  *                          of every run as nested JSON
  *     --timeline-csv <file> write the per-epoch recorder series of
@@ -40,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "src/driver/orchestrator.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/statreg.hh"
 #include "src/sim/tracing.hh"
@@ -55,7 +67,8 @@ usage(const char *argv0, int exitCode = 2)
     std::fprintf(exitCode == 0 ? stdout : stderr,
                  "usage: %s [--design <name>] [--lc <name|Mixed>] "
                  "[--load low|high] [--vms N] [--batch N] [--mixes N] "
-                 "[--seed N] [--paper-scale] [--selfcheck] "
+                 "[--seed N] [--paper-scale] [--jobs N] "
+                 "[--cache-dir DIR] [--sweep] [--selfcheck] "
                  "[--stats-json FILE] [--timeline-csv FILE] "
                  "[--trace-out FILE]\n",
                  argv0);
@@ -156,7 +169,10 @@ main(int argc, char **argv)
     LoadLevel load = LoadLevel::High;
     std::uint32_t vms = 4, batchPerVm = 4, mixes = 3;
     std::uint64_t seed = 1;
+    std::uint32_t jobs = driver::jobCountFromEnv(1);
+    std::string cacheDir = driver::cacheDirFromEnv();
     bool paperScale = false;
+    bool sweepMode = false;
     bool selfcheck = false;
     std::string statsJsonPath, timelineCsvPath, traceOutPath;
 
@@ -195,6 +211,13 @@ main(int argc, char **argv)
                 seed = std::strtoull(next().c_str(), nullptr, 10);
             } else if (arg == "--paper-scale") {
                 paperScale = true;
+            } else if (arg == "--jobs") {
+                jobs = static_cast<std::uint32_t>(
+                    std::strtoul(next().c_str(), nullptr, 10));
+            } else if (arg == "--cache-dir") {
+                cacheDir = next();
+            } else if (arg == "--sweep") {
+                sweepMode = true;
             } else if (arg == "--selfcheck") {
                 selfcheck = true;
             } else if (arg == "--stats-json") {
@@ -220,6 +243,16 @@ main(int argc, char **argv)
                              "--batch <= 64\n");
         return 2;
     }
+    if (jobs == 0) {
+        std::fprintf(stderr, "error: --jobs must be >= 1\n");
+        return 2;
+    }
+    if (sweepMode && (vms != 4 || batchPerVm != 4)) {
+        std::fprintf(stderr,
+                     "error: --sweep uses the paper's fixed 4 VM x 4 "
+                     "batch mixes; --vms/--batch do not apply\n");
+        return 2;
+    }
 
     if (designs.empty()) {
         designs = {LlcDesign::Adaptive, LlcDesign::VMPart,
@@ -236,25 +269,53 @@ main(int argc, char **argv)
     }
 
     try {
-        // One tracer shared across every measured run; each System
-        // opens its own pid block so lanes never collide. The tracer
-        // must outlive all harness runs.
+        // Each traced job gets a private tracer that the orchestrator
+        // merges back in submission order, so the combined trace is
+        // the same whatever the worker count (plus a schedule lane).
         std::unique_ptr<Tracer> tracer;
         if (!traceOutPath.empty()) tracer = std::make_unique<Tracer>();
 
+        driver::Orchestrator::Options orchOpts;
+        orchOpts.jobs = jobs;
+        // A warm cache would make the selfcheck's second run a replay
+        // of the first — exactly what it must not be.
+        orchOpts.cacheDir = selfcheck ? std::string() : cacheDir;
+        orchOpts.tracer = tracer.get();
+        driver::Orchestrator orchestrator(orchOpts);
+
         auto runExperiment = [&]() {
-            ExperimentHarness harness(cfg);
-            std::vector<MixResult> results;
+            if (sweepMode) {
+                ExperimentHarness harness(cfg);
+                return driver::parallelSweep(harness, lcNames, mixes,
+                                             designs, load,
+                                             orchestrator);
+            }
+            // Default mode: every mix is an independent job that
+            // calibrates from its own config — the same seeds, mixes,
+            // and calibrations as one local harness per mix.
+            driver::JobGraph graph;
             for (std::uint32_t m = 0; m < mixes; m++) {
-                SystemConfig mixCfg = cfg;
-                mixCfg.seed = seed + m * 1000003ull;
-                mixCfg.tracer = tracer.get();
-                mixCfg.traceLabel = "mix" + std::to_string(m);
-                Rng rng(mixCfg.seed ^ 0x5eed);
-                WorkloadMix mix = makeMix(lcNames, vms, batchPerVm, rng);
-                ExperimentHarness local(harness);
-                local.mutableBaseConfig() = mixCfg;
-                results.push_back(local.runMix(mix, designs, load));
+                driver::SweepJob job;
+                job.label = "mix" + std::to_string(m);
+                job.config = cfg;
+                job.config.seed = seed + m * 1000003ull;
+                job.config.traceLabel = "mix" + std::to_string(m);
+                Rng rng(job.config.seed ^ 0x5eed);
+                job.mix = makeMix(lcNames, vms, batchPerVm, rng);
+                job.designs = designs;
+                job.load = load;
+                job.selfCalibrate = true;
+                graph.add(std::move(job));
+            }
+            std::vector<driver::JobOutcome> outcomes =
+                orchestrator.run(graph);
+            std::vector<MixResult> results;
+            results.reserve(outcomes.size());
+            for (driver::JobId id = 0; id < outcomes.size(); id++) {
+                if (!outcomes[id].ok)
+                    fatal("mix " + std::to_string(id) +
+                          " failed: " + outcomes[id].error);
+                results.push_back(std::move(outcomes[id].result));
             }
             return results;
         };

@@ -32,6 +32,15 @@
  *                      through the registry/tracer serializers. The
  *                      designated sinks (sim/logging.cc,
  *                      sim/statreg.cc, sim/tracing.cc) are exempt.
+ *   concurrency-routing threading primitives (std::thread, mutexes,
+ *                      atomics, condition variables, futures and
+ *                      their headers) are banned in src/ outside
+ *                      src/driver/: each simulation must stay
+ *                      provably single-threaded so the driver can run
+ *                      many of them concurrently without locks in the
+ *                      model. The thread_local keyword is allowed —
+ *                      per-thread state is how per-run context stays
+ *                      isolated (src/sim/check.cc).
  *
  * Suppressions (justification required, reported in --json output):
  *   // lint-allow: <rule> <why>        same line or the line above
@@ -548,6 +557,66 @@ checkIoRouting(const SourceFile &sf, std::vector<Finding> &findings)
     }
 }
 
+// --- Rule: concurrency-routing ----------------------------------------
+
+/**
+ * Simulation code must stay provably single-threaded; the worker pool
+ * in src/driver/ is the only sanctioned home for threading
+ * primitives. Everything else in src/ is scanned.
+ */
+bool
+concurrencyRoutingApplies(const std::string &path)
+{
+    if (path.find("src/") == std::string::npos) return false;
+    return path.find("src/driver/") == std::string::npos;
+}
+
+void
+checkConcurrencyRouting(const SourceFile &sf,
+                        std::vector<Finding> &findings)
+{
+    if (!concurrencyRoutingApplies(sf.path)) return;
+    // Whole-identifier matches, so the (allowed) thread_local keyword
+    // never trips the "thread" entry.
+    static const char *kBanned[] = {
+        "thread", "jthread", "this_thread", "mutex", "shared_mutex",
+        "recursive_mutex", "timed_mutex", "recursive_timed_mutex",
+        "atomic", "atomic_flag", "atomic_ref", "condition_variable",
+        "condition_variable_any", "future", "shared_future", "promise",
+        "async", "lock_guard", "unique_lock", "shared_lock",
+        "scoped_lock", "call_once", "once_flag", "latch", "barrier",
+        "counting_semaphore", "binary_semaphore", "stop_token",
+        "stop_source",
+    };
+    for (const char *word : kBanned)
+        for (std::size_t at : findWord(sf.code, word))
+            report(findings, sf, "concurrency-routing", at,
+                   std::string(word) +
+                       ": threading primitives live in src/driver/ "
+                       "only; simulation code is single-threaded");
+    // The includes themselves (header names sit inside <>/"" literals,
+    // which are blanked in code, so scan raw include lines).
+    static const char *kHeaders[] = {
+        "<thread>",  "<mutex>",      "<shared_mutex>",
+        "<atomic>",  "<condition_variable>", "<future>",
+        "<semaphore>", "<latch>",    "<barrier>",
+        "<stop_token>",
+    };
+    std::size_t pos = 0;
+    while ((pos = sf.raw.find("#include", pos)) != std::string::npos) {
+        std::size_t eol = sf.raw.find('\n', pos);
+        if (eol == std::string::npos) eol = sf.raw.size();
+        std::string line = sf.raw.substr(pos, eol - pos);
+        for (const char *header : kHeaders)
+            if (line.find(header) != std::string::npos)
+                report(findings, sf, "concurrency-routing", pos,
+                       std::string("#include ") + header +
+                           ": threading primitives live in "
+                           "src/driver/ only");
+        pos = eol;
+    }
+}
+
 // --- Driver -----------------------------------------------------------
 
 bool
@@ -681,6 +750,7 @@ main(int argc, char **argv)
         checkRawNewDelete(sf, findings);
         checkFloat(sf, findings);
         checkIoRouting(sf, findings);
+        checkConcurrencyRouting(sf, findings);
     }
 
     std::string output =
