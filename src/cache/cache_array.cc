@@ -1,5 +1,7 @@
 #include "src/cache/cache_array.hh"
 
+#include <bit>
+
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
@@ -25,8 +27,11 @@ CacheArray::CacheArray(std::uint32_t sets, std::uint32_t ways,
                        ReplKind repl, std::uint64_t seed)
     : sets_(sets),
       ways_(ways),
-      lines_(static_cast<std::size_t>(sets) * ways),
-      repl_(ReplPolicy::create(repl, sets, ways, seed))
+      tags_(static_cast<std::size_t>(sets) * ways, 0),
+      validBits_(sets, 0),
+      owners_(static_cast<std::size_t>(sets) * ways),
+      repl_(ReplPolicy::create(repl, sets, ways, seed)),
+      fullMask_(WayMask::all(ways))
 {
     if (sets == 0 || (sets & (sets - 1)) != 0)
         fatal("CacheArray: sets must be a nonzero power of two");
@@ -40,18 +45,6 @@ CacheArray::setIndex(LineAddr line) const
     return static_cast<std::uint32_t>(mixBits(line) & (sets_ - 1));
 }
 
-CacheArray::Line &
-CacheArray::lineAt(std::uint32_t set, std::uint32_t way)
-{
-    return lines_[static_cast<std::size_t>(set) * ways_ + way];
-}
-
-const CacheArray::Line &
-CacheArray::lineAt(std::uint32_t set, std::uint32_t way) const
-{
-    return lines_[static_cast<std::size_t>(set) * ways_ + way];
-}
-
 void
 CacheArray::accountFill(const AccessOwner &owner)
 {
@@ -60,7 +53,9 @@ CacheArray::accountFill(const AccessOwner &owner)
     validCount_++;
     appOccupancy_[owner.app]++;
     vcOccupancy_[owner.vc]++;
-    vmApps_[owner.vm][owner.app]++;
+    std::uint64_t &perVm = vmApps_[owner.vm][owner.app];
+    if (perVm == 0) vmAppTotal_++;
+    perVm++;
 }
 
 void
@@ -74,11 +69,12 @@ CacheArray::accountDrop(const AccessOwner &owner)
     validCount_--;
     appOccupancy_[owner.app]--;
     vcOccupancy_[owner.vc]--;
-    auto vmIt = vmApps_.find(owner.vm);
-    if (vmIt != vmApps_.end()) {
-        auto appIt = vmIt->second.find(owner.app);
-        if (appIt != vmIt->second.end() && --appIt->second == 0)
-            vmIt->second.erase(appIt);
+    if (auto *apps = vmApps_.lookup(owner.vm)) {
+        auto *count = apps->lookup(owner.app);
+        if (count != nullptr && --*count == 0) {
+            apps->erase(owner.app);
+            vmAppTotal_--;
+        }
     }
 }
 
@@ -87,25 +83,29 @@ CacheArray::checkOccupancyInvariant() const
 {
 #if JUMANJI_CHECKS_ACTIVE
     std::uint64_t valid = 0;
-    std::map<AppId, std::uint64_t> byApp;
-    std::map<VcId, std::uint64_t> byVc;
-    for (const Line &l : lines_) {
-        if (!l.valid) continue;
-        valid++;
-        byApp[l.owner.app]++;
-        byVc[l.owner.vc]++;
+    SmallIdMap<AppId, std::uint64_t> byApp;
+    SmallIdMap<VcId, std::uint64_t> byVc;
+    for (std::uint32_t s = 0; s < sets_; s++) {
+        for (std::uint64_t bits = validBits_[s]; bits != 0;
+             bits &= bits - 1) {
+            auto w = static_cast<std::uint32_t>(std::countr_zero(bits));
+            const AccessOwner &o =
+                owners_[static_cast<std::size_t>(s) * ways_ + w];
+            valid++;
+            byApp[o.app]++;
+            byVc[o.vc]++;
+        }
     }
     JUMANJI_INVARIANT(valid == validCount_,
                       "validCount_ disagrees with the line array");
     for (const auto &[app, count] : byApp) {
-        auto it = appOccupancy_.find(app);
-        JUMANJI_INVARIANT(it != appOccupancy_.end() &&
-                              it->second == count,
+        const std::uint64_t *have = appOccupancy_.lookup(app);
+        JUMANJI_INVARIANT(have != nullptr && *have == count,
                           "per-app occupancy accounting drifted");
     }
     for (const auto &[vc, count] : byVc) {
-        auto it = vcOccupancy_.find(vc);
-        JUMANJI_INVARIANT(it != vcOccupancy_.end() && it->second == count,
+        const std::uint64_t *have = vcOccupancy_.lookup(vc);
+        JUMANJI_INVARIANT(have != nullptr && *have == count,
                           "per-VC occupancy accounting drifted");
     }
     std::uint64_t appSum = 0, vcSum = 0;
@@ -113,6 +113,13 @@ CacheArray::checkOccupancyInvariant() const
     for (const auto &[vc, count] : vcOccupancy_) vcSum += count;
     JUMANJI_INVARIANT(appSum == validCount_ && vcSum == validCount_,
                       "occupancy sums disagree with validCount_");
+    std::size_t vmAppPairs = 0;
+    for (const auto &[vm, apps] : vmApps_) {
+        (void)vm;
+        vmAppPairs += apps.size();
+    }
+    JUMANJI_INVARIANT(vmAppPairs == vmAppTotal_,
+                      "vulnerability tally disagrees with vmApps_");
 #endif
 }
 
@@ -121,48 +128,52 @@ CacheArray::access(LineAddr line, const AccessOwner &owner)
 {
     ArrayAccessResult result;
     std::uint32_t set = setIndex(line);
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    const LineAddr *tagRow = tags_.data() + base;
 
-    // Lookup: CAT semantics, hits may land in any way.
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        Line &l = lineAt(set, w);
-        if (l.valid && l.tag == line) {
+    // Lookup: CAT semantics, hits may land in any way. Scanning valid
+    // ways in ascending order via the bitmask matches the original
+    // way-by-way walk.
+    for (std::uint64_t bits = validBits_[set]; bits != 0;
+         bits &= bits - 1) {
+        auto w = static_cast<std::uint32_t>(std::countr_zero(bits));
+        if (tagRow[w] == line) {
             repl_->onHit(set, w);
             result.hit = true;
             return result;
         }
     }
 
-    // Miss: fill within the owner's way mask.
-    WayMask mask = wayMaskFor(owner.vc);
+    // Miss: fill within the owner's way mask (resolved once).
+    const WayMask &mask = *maskFor(owner.vc);
     if (mask.empty()) {
         // No fill rights: treat as an uncached access (still a miss).
         return result;
     }
 
-    // Prefer an invalid allowed way.
-    std::uint32_t victim = ways_;
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        if (mask.contains(w) && !lineAt(set, w).valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == ways_)
+    // Prefer the lowest invalid allowed way (one bit-scan).
+    std::uint32_t victim;
+    std::uint64_t invalidAllowed = mask.bits() & ~validBits_[set] &
+                                   fullMask_.bits();
+    if (invalidAllowed != 0)
+        victim = static_cast<std::uint32_t>(
+            std::countr_zero(invalidAllowed));
+    else
         victim = repl_->victimWay(set, mask);
     JUMANJI_ASSERT(victim < ways_, "victim way out of range");
     JUMANJI_ASSERT(mask.contains(victim),
                    "replacement chose a victim outside the way mask");
 
-    Line &v = lineAt(set, victim);
-    if (v.valid) {
+    AccessOwner &vOwner = owners_[base + victim];
+    if (validBits_[set] & (1ull << victim)) {
         result.evicted = true;
-        result.evictedOwner = v.owner;
-        result.evictedLine = v.tag;
-        accountDrop(v.owner);
+        result.evictedOwner = vOwner;
+        result.evictedLine = tagRow[victim];
+        accountDrop(vOwner);
     }
-    v.tag = line;
-    v.valid = true;
-    v.owner = owner;
+    tags_[base + victim] = line;
+    validBits_[set] |= 1ull << victim;
+    vOwner = owner;
     accountFill(owner);
     repl_->onFill(set, victim);
     return result;
@@ -172,29 +183,32 @@ bool
 CacheArray::insert(LineAddr line, const AccessOwner &owner)
 {
     std::uint32_t set = setIndex(line);
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        Line &l = lineAt(set, w);
-        if (l.valid && l.tag == line) return true;
+    const std::size_t base = static_cast<std::size_t>(set) * ways_;
+    const LineAddr *tagRow = tags_.data() + base;
+    for (std::uint64_t bits = validBits_[set]; bits != 0;
+         bits &= bits - 1) {
+        auto w = static_cast<std::uint32_t>(std::countr_zero(bits));
+        if (tagRow[w] == line) return true;
     }
-    WayMask mask = wayMaskFor(owner.vc);
+    const WayMask &mask = *maskFor(owner.vc);
     if (mask.empty()) return false;
 
-    std::uint32_t victim = ways_;
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        if (mask.contains(w) && !lineAt(set, w).valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == ways_) victim = repl_->victimWay(set, mask);
+    std::uint32_t victim;
+    std::uint64_t invalidAllowed = mask.bits() & ~validBits_[set] &
+                                   fullMask_.bits();
+    if (invalidAllowed != 0)
+        victim = static_cast<std::uint32_t>(
+            std::countr_zero(invalidAllowed));
+    else
+        victim = repl_->victimWay(set, mask);
     JUMANJI_ASSERT(victim < ways_ && mask.contains(victim),
                    "migration fill outside the way mask");
 
-    Line &v = lineAt(set, victim);
-    if (v.valid) accountDrop(v.owner);
-    v.tag = line;
-    v.valid = true;
-    v.owner = owner;
+    AccessOwner &vOwner = owners_[base + victim];
+    if (validBits_[set] & (1ull << victim)) accountDrop(vOwner);
+    tags_[base + victim] = line;
+    validBits_[set] |= 1ull << victim;
+    vOwner = owner;
     accountFill(owner);
     repl_->onFill(set, victim);
     return true;
@@ -204,9 +218,12 @@ bool
 CacheArray::contains(LineAddr line) const
 {
     std::uint32_t set = setIndex(line);
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        const Line &l = lineAt(set, w);
-        if (l.valid && l.tag == line) return true;
+    const LineAddr *tagRow =
+        tags_.data() + static_cast<std::size_t>(set) * ways_;
+    for (std::uint64_t bits = validBits_[set]; bits != 0;
+         bits &= bits - 1) {
+        auto w = static_cast<std::uint32_t>(std::countr_zero(bits));
+        if (tagRow[w] == line) return true;
     }
     return false;
 }
@@ -220,35 +237,13 @@ CacheArray::setWayMask(VcId vc, const WayMask &mask)
 WayMask
 CacheArray::wayMaskFor(VcId vc) const
 {
-    auto it = masks_.find(vc);
-    if (it != masks_.end()) return it->second;
-    return WayMask::all(ways_);
+    return *maskFor(vc);
 }
 
 void
 CacheArray::clearWayMasks()
 {
     masks_.clear();
-}
-
-std::uint64_t
-CacheArray::invalidateIf(
-    const std::function<bool(LineAddr, const AccessOwner &)> &pred)
-{
-    std::uint64_t dropped = 0;
-    for (std::uint32_t s = 0; s < sets_; s++) {
-        for (std::uint32_t w = 0; w < ways_; w++) {
-            Line &l = lineAt(s, w);
-            if (l.valid && pred(l.tag, l.owner)) {
-                accountDrop(l.owner);
-                l.valid = false;
-                repl_->onInvalidate(s, w);
-                dropped++;
-            }
-        }
-    }
-    checkOccupancyInvariant();
-    return dropped;
 }
 
 std::uint64_t
@@ -268,26 +263,26 @@ CacheArray::invalidateAll()
 std::uint64_t
 CacheArray::occupancyOfApp(AppId app) const
 {
-    auto it = appOccupancy_.find(app);
-    return it == appOccupancy_.end() ? 0 : it->second;
+    const std::uint64_t *p = appOccupancy_.lookup(app);
+    return p == nullptr ? 0 : *p;
 }
 
 std::uint64_t
 CacheArray::occupancyOfVc(VcId vc) const
 {
-    auto it = vcOccupancy_.find(vc);
-    return it == vcOccupancy_.end() ? 0 : it->second;
+    const std::uint64_t *p = vcOccupancy_.lookup(vc);
+    return p == nullptr ? 0 : *p;
 }
 
 std::uint32_t
 CacheArray::appsFromOtherVms(VmId exceptVm) const
 {
-    std::uint32_t count = 0;
-    for (const auto &[vm, apps] : vmApps_) {
-        if (vm == exceptVm) continue;
-        count += static_cast<std::uint32_t>(apps.size());
-    }
-    return count;
+    // vmAppTotal_ tracks the distinct (vm, app) pairs with >0 lines,
+    // so the per-access vulnerability probe is a subtraction instead
+    // of a walk over every VM's app set.
+    std::size_t own = 0;
+    if (const auto *apps = vmApps_.lookup(exceptVm)) own = apps->size();
+    return static_cast<std::uint32_t>(vmAppTotal_ - own);
 }
 
 } // namespace jumanji

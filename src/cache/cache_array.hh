@@ -11,14 +11,14 @@
 #ifndef JUMANJI_CACHE_CACHE_ARRAY_HH
 #define JUMANJI_CACHE_CACHE_ARRAY_HH
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/cache/replacement.hh"
 #include "src/cache/way_mask.hh"
+#include "src/sim/flat_map.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
@@ -96,17 +96,52 @@ class CacheArray
     /** Returns the installed mask for @p vc, or the full mask. */
     WayMask wayMaskFor(VcId vc) const;
 
+    /**
+     * Hot-path variant: a pointer to the installed mask for @p vc, or
+     * to the array-wide full mask. Resolved once per access so the
+     * fill path pays one dense lookup, not one per candidate way.
+     * Invalidated by setWayMask/clearWayMasks.
+     */
+    const WayMask *maskFor(VcId vc) const
+    {
+        const WayMask *m = masks_.lookup(vc);
+        return m != nullptr ? m : &fullMask_;
+    }
+
     /** Removes all per-VC masks (back to fully shared). */
     void clearWayMasks();
 
     /**
      * Invalidates every line for which @p pred returns true; used by
-     * the reconfiguration coherence walk.
+     * the reconfiguration coherence walk. Templated on the predicate
+     * so the walk — which visits every valid line in the array —
+     * calls it directly instead of through a std::function.
      *
      * @return Number of lines invalidated.
      */
-    std::uint64_t invalidateIf(
-        const std::function<bool(LineAddr, const AccessOwner &)> &pred);
+    template <typename Pred>
+    std::uint64_t invalidateIf(Pred &&pred)
+    {
+        std::uint64_t dropped = 0;
+        for (std::uint32_t s = 0; s < sets_; s++) {
+            const std::size_t base =
+                static_cast<std::size_t>(s) * ways_;
+            for (std::uint64_t bits = validBits_[s]; bits != 0;
+                 bits &= bits - 1) {
+                auto w = static_cast<std::uint32_t>(
+                    std::countr_zero(bits));
+                const AccessOwner &o = owners_[base + w];
+                if (pred(tags_[base + w], o)) {
+                    accountDrop(o);
+                    validBits_[s] &= ~(1ull << w);
+                    repl_->onInvalidate(s, w);
+                    dropped++;
+                }
+            }
+        }
+        checkOccupancyInvariant();
+        return dropped;
+    }
 
     /** Invalidates all lines owned by @p vc. @return lines dropped. */
     std::uint64_t invalidateVc(VcId vc);
@@ -130,16 +165,7 @@ class CacheArray
     ReplPolicy &replacement() { return *repl_; }
 
   private:
-    struct Line
-    {
-        LineAddr tag = 0;
-        bool valid = false;
-        AccessOwner owner;
-    };
-
     std::uint32_t setIndex(LineAddr line) const;
-    Line &lineAt(std::uint32_t set, std::uint32_t way);
-    const Line &lineAt(std::uint32_t set, std::uint32_t way) const;
 
     void accountFill(const AccessOwner &owner);
     void accountDrop(const AccessOwner &owner);
@@ -154,18 +180,31 @@ class CacheArray
 
     std::uint32_t sets_;
     std::uint32_t ways_;
-    std::vector<Line> lines_;
+    // Structure-of-arrays line storage. The hit scan is the hottest
+    // loop in the simulator, so tags live in their own compact array
+    // (8 B/way instead of a ~32 B Line struct) and validity is one
+    // bitmask word per set, which also turns the invalid-victim
+    // search into a single bit-scan. Owners are only touched on
+    // fill/evict, never on the hit path.
+    std::vector<LineAddr> tags_;
+    std::vector<std::uint64_t> validBits_;
+    std::vector<AccessOwner> owners_;
     std::unique_ptr<ReplPolicy> repl_;
-    // Ordered maps throughout: occupancy/mask state is iterated for
-    // stats reporting and placement decisions, and unordered-map
-    // iteration order would make that output nondeterministic.
-    std::map<VcId, WayMask> masks_;
+    // Dense id-indexed maps throughout: these sit on the per-access
+    // path (mask resolution, occupancy accounting, the vulnerability
+    // metric), and they iterate in ascending-id order, so stats and
+    // placement output is as deterministic as the std::map originals.
+    SmallIdMap<VcId, WayMask> masks_;
+    /** Fallback fill rights when no mask is installed (all ways). */
+    WayMask fullMask_;
 
     std::uint64_t validCount_ = 0;
-    std::map<AppId, std::uint64_t> appOccupancy_;
-    std::map<VcId, std::uint64_t> vcOccupancy_;
+    SmallIdMap<AppId, std::uint64_t> appOccupancy_;
+    SmallIdMap<VcId, std::uint64_t> vcOccupancy_;
     /** Per-VM set of apps with >0 lines: vm -> (app -> count). */
-    std::map<VmId, std::map<AppId, std::uint64_t>> vmApps_;
+    SmallIdMap<VmId, SmallIdMap<AppId, std::uint64_t>> vmApps_;
+    /** Distinct (vm, app) pairs with >0 lines, summed over all VMs. */
+    std::size_t vmAppTotal_ = 0;
 };
 
 } // namespace jumanji

@@ -1,5 +1,7 @@
 #include "src/cache/replacement.hh"
 
+#include <bit>
+
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 
@@ -149,16 +151,19 @@ RripPolicy::victimWay(std::uint32_t set, const WayMask &mask)
     JUMANJI_ASSERT(!(mask & WayMask::all(ways_)).empty(),
                    "way mask selects no way of this bank");
     std::size_t base = static_cast<std::size_t>(set) * ways_;
+    // Visit only the allowed ways, in ascending order, via the mask
+    // bits — identical victim choice to a full way scan.
+    const std::uint64_t allowed = mask.bits() & WayMask::all(ways_).bits();
     for (;;) {
-        for (std::uint32_t w = 0; w < ways_; w++) {
-            if (mask.contains(w) && rrpv_[base + w] == kMaxRrpv)
-                return w;
+        for (std::uint64_t bits = allowed; bits != 0; bits &= bits - 1) {
+            auto w = static_cast<std::uint32_t>(std::countr_zero(bits));
+            if (rrpv_[base + w] == kMaxRrpv) return w;
         }
         // Age only the allowed ways: partitions must not disturb each
         // other's replacement state through aging.
-        for (std::uint32_t w = 0; w < ways_; w++) {
-            if (mask.contains(w) && rrpv_[base + w] < kMaxRrpv)
-                rrpv_[base + w]++;
+        for (std::uint64_t bits = allowed; bits != 0; bits &= bits - 1) {
+            auto w = static_cast<std::uint32_t>(std::countr_zero(bits));
+            if (rrpv_[base + w] < kMaxRrpv) rrpv_[base + w]++;
         }
     }
 }

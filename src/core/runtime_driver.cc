@@ -50,30 +50,29 @@ RuntimeDriver::registerApp(const RuntimeAppInfo &info,
         // Jumanji allocations never drop near zero either).
         std::uint64_t minLines =
             std::max<std::uint64_t>(geo_.linesPerWay(), total / 32);
-        controllers_.emplace(
-            info.vc,
-            std::make_unique<FeedbackController>(
-                params, deadline, panic, panic, minLines,
-                /*maxLines=*/total / 4));
+        controllers_[info.vc] = std::make_unique<FeedbackController>(
+            params, deadline, panic, panic, minLines,
+            /*maxLines=*/total / 4);
     }
 }
 
 void
 RuntimeDriver::requestCompleted(VcId vc, double latencyCycles, Tick now)
 {
-    auto it = controllers_.find(vc);
-    if (it == controllers_.end())
+    auto *slot = controllers_.lookup(vc);
+    if (slot == nullptr)
         panic("RuntimeDriver::requestCompleted: not a controlled VC");
-    if (latencyCycles > it->second->deadline()) {
+    FeedbackController &ctrl = **slot;
+    if (latencyCycles > ctrl.deadline()) {
         JUMANJI_TRACE(
             tracer_,
             instant(tracePid_ + Tracer::kCoresPid, appTile(vc),
                     "deadlineViolation", now,
                     {{"vc", static_cast<double>(vc)},
                      {"latencyCycles", latencyCycles},
-                     {"deadline", it->second->deadline()}}));
+                     {"deadline", ctrl.deadline()}}));
     }
-    it->second->requestCompleted(latencyCycles);
+    ctrl.requestCompleted(latencyCycles);
 }
 
 void
@@ -81,6 +80,9 @@ RuntimeDriver::setTracer(Tracer *tracer, std::uint32_t basePid)
 {
     tracer_ = tracer;
     tracePid_ = basePid;
+    // Cached track names point into the previous tracer's interned
+    // storage; re-intern lazily against the new one.
+    allocTrackNames_.clear();
 }
 
 void
@@ -99,10 +101,10 @@ RuntimeDriver::registerStats(StatRegistry &reg, const std::string &prefix)
         reg.addGauge(p + "allocLines",
                      "lines installed at the last reconfiguration",
                      [this, vc] {
-                         auto it = lastAlloc_.find(vc);
-                         return it == lastAlloc_.end()
+                         const std::uint64_t *lines = lastAlloc_.lookup(vc);
+                         return lines == nullptr
                                     ? 0.0
-                                    : static_cast<double>(it->second);
+                                    : static_cast<double>(*lines);
                      });
         if (auto *ctrl = controller(vc)) {
             reg.addGauge(p + "targetLines",
@@ -141,17 +143,17 @@ RuntimeDriver::appTile(VcId vc) const
 FeedbackController *
 RuntimeDriver::controller(VcId vc)
 {
-    auto it = controllers_.find(vc);
-    return it == controllers_.end() ? nullptr : it->second.get();
+    auto *slot = controllers_.lookup(vc);
+    return slot == nullptr ? nullptr : slot->get();
 }
 
 void
 RuntimeDriver::setDeadline(VcId vc, double deadline)
 {
-    auto it = controllers_.find(vc);
-    if (it == controllers_.end())
+    auto *slot = controllers_.lookup(vc);
+    if (slot == nullptr)
         panic("RuntimeDriver::setDeadline: not a controlled VC");
-    it->second->setDeadline(deadline);
+    (*slot)->setDeadline(deadline);
 }
 
 EpochInputs
@@ -194,10 +196,10 @@ RuntimeDriver::gatherInputs()
             if (fixedLcTarget_ > 0) {
                 vc.targetLines = fixedLcTarget_;
             } else {
-                auto it = controllers_.find(app.vc);
-                if (it == controllers_.end())
+                auto *slot = controllers_.lookup(app.vc);
+                if (slot == nullptr)
                     panic("RuntimeDriver: LC app without controller");
-                vc.targetLines = it->second->targetLines();
+                vc.targetLines = (*slot)->targetLines();
 
                 // Installation deadband: relocating an LC reservation
                 // invalidates its hottest lines (the coherence walk),
@@ -206,13 +208,13 @@ RuntimeDriver::gatherInputs()
                 // move the installed size for changes >= 15% — except
                 // growth demands (missed deadlines), which always
                 // apply immediately.
-                auto inst = installedLcTarget_.find(app.vc);
-                if (inst != installedLcTarget_.end() &&
-                    vc.targetLines < inst->second) {
-                    double rel = static_cast<double>(inst->second -
+                const std::uint64_t *inst =
+                    installedLcTarget_.lookup(app.vc);
+                if (inst != nullptr && vc.targetLines < *inst) {
+                    double rel = static_cast<double>(*inst -
                                                      vc.targetLines) /
-                                 static_cast<double>(inst->second);
-                    if (rel < 0.15) vc.targetLines = inst->second;
+                                 static_cast<double>(*inst);
+                    if (rel < 0.15) vc.targetLines = *inst;
                 }
                 installedLcTarget_[app.vc] = vc.targetLines;
             }
@@ -276,19 +278,21 @@ RuntimeDriver::installPlan(const PlacementPlan &plan, Tick now)
                                             record.invalidations)}});
         }
         for (const auto &[vc, lines] : record.allocLines) {
-            auto nameIt = allocTrackNames_.find(vc);
-            if (nameIt == allocTrackNames_.end()) {
-                nameIt = allocTrackNames_
-                             .emplace(vc,
-                                      "allocLines.vc" +
-                                          statIndexName(
-                                              static_cast<std::uint64_t>(
-                                                  vc)))
-                             .first;
+            const char *track = nullptr;
+            if (const char *const *cached = allocTrackNames_.lookup(vc)) {
+                track = *cached;
+            } else {
+                // Intern once per VC; the tracer owns pointer-stable
+                // storage, so later epochs skip the interning lookup.
+                track = tracer_->internName(
+                    ("allocLines.vc" +
+                     statIndexName(static_cast<std::uint64_t>(vc)))
+                        .c_str());
+                allocTrackNames_[vc] = track;
             }
-            tracer_->counter(tracePid_ + Tracer::kRuntimePid,
-                             nameIt->second.c_str(), now,
-                             static_cast<double>(lines));
+            tracer_->counterInterned(tracePid_ + Tracer::kRuntimePid,
+                                     track, now,
+                                     static_cast<double>(lines));
         }
     }
 #endif

@@ -14,7 +14,6 @@
 #define JUMANJI_CORE_RUNTIME_DRIVER_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +22,7 @@
 #include "src/core/policies.hh"
 #include "src/cpu/mem_path.hh"
 #include "src/sim/event_queue.hh"
+#include "src/sim/flat_map.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
@@ -57,8 +57,8 @@ struct RuntimeAppInfo
 struct EpochRecord
 {
     Tick when = 0;
-    /** Lines allocated per VC at this epoch. */
-    std::map<VcId, std::uint64_t> allocLines;
+    /** Lines allocated per VC at this epoch (ascending-VC order). */
+    SmallIdMap<VcId, std::uint64_t> allocLines;
     /** Lines invalidated by the coherence walk this epoch. */
     std::uint64_t invalidations = 0;
 };
@@ -164,7 +164,11 @@ class RuntimeDriver : public Agent
     Tick epochTicks_;
 
     std::vector<RuntimeAppInfo> apps_;
-    std::map<VcId, std::unique_ptr<FeedbackController>> controllers_;
+    /**
+     * Dense per-VC tables: requestCompleted() runs per completed LC
+     * request, so the controller lookup must not tree-walk.
+     */
+    SmallIdMap<VcId, std::unique_ptr<FeedbackController>> controllers_;
 
     std::vector<EpochRecord> timeline_;
     std::uint64_t invalidations_ = 0;
@@ -173,18 +177,18 @@ class RuntimeDriver : public Agent
     bool hullCurves_ = true;
     bool rateNormalize_ = true;
     /** Last LC target actually installed, per VC (deadband). */
-    std::map<VcId, std::uint64_t> installedLcTarget_;
+    SmallIdMap<VcId, std::uint64_t> installedLcTarget_;
     /** Lines installed per VC at the last reconfiguration. */
-    std::map<VcId, std::uint64_t> lastAlloc_;
+    SmallIdMap<VcId, std::uint64_t> lastAlloc_;
 
     Tracer *tracer_ = nullptr;
     std::uint32_t tracePid_ = 0;
     /**
-     * Stable storage for per-VC counter-track names: the tracer keeps
-     * raw char pointers until serialization, and map nodes never
-     * move.
+     * Per-VC counter-track names, interned into the tracer's
+     * pointer-stable storage once per VC instead of on every epoch's
+     * emission.
      */
-    std::map<VcId, std::string> allocTrackNames_;
+    SmallIdMap<VcId, const char *> allocTrackNames_;
 };
 
 } // namespace jumanji

@@ -33,15 +33,15 @@ MemPath::registerVc(VcId vc)
     if (umons_.count(vc)) return;
     UmonParams p = umonParams_;
     p.modelledLines = totalLines();
-    umons_.emplace(vc, std::make_unique<Umon>(p));
+    umons_[vc] = std::make_unique<Umon>(p);
 }
 
 Umon &
 MemPath::umon(VcId vc)
 {
-    auto it = umons_.find(vc);
-    if (it == umons_.end()) panic("MemPath::umon: unregistered VC");
-    return *it->second;
+    auto *u = umons_.lookup(vc);
+    if (u == nullptr) panic("MemPath::umon: unregistered VC");
+    return **u;
 }
 
 std::uint64_t
@@ -112,8 +112,7 @@ MemPath::accessArrived(Tick now, std::uint32_t coreTile,
     llcAccesses_++;
 
     // UMON observes the access regardless of hit/miss.
-    auto umonIt = umons_.find(owner.vc);
-    if (umonIt != umons_.end()) umonIt->second->access(line);
+    if (auto *umon = umons_.lookup(owner.vc)) (*umon)->access(line);
 
     counters_.nocHops += 2ull * route.hops;
     hopCounters_[route.hops]++;

@@ -12,7 +12,6 @@
 #define JUMANJI_CPU_MEM_PATH_HH
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "src/dnuca/vtb.hh"
 #include "src/mem/memory.hh"
 #include "src/noc/mesh.hh"
+#include "src/sim/flat_map.hh"
 #include "src/sim/stats.hh"
 #include "src/sim/types.hh"
 
@@ -192,8 +192,11 @@ class MemPath
     LlcParams llcParams_;
     UmonParams umonParams_;
     std::vector<std::unique_ptr<CacheBank>> banks_;
-    /** Ordered: UMONs are walked when gathering epoch inputs. */
-    std::map<VcId, std::unique_ptr<Umon>> umons_;
+    /**
+     * Dense per-VC table: probed on every access, and walked in
+     * ascending-VC order when gathering epoch inputs.
+     */
+    SmallIdMap<VcId, std::unique_ptr<Umon>> umons_;
 
     AccessCounters counters_;
     std::uint64_t attackerSum_ = 0;

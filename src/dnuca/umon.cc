@@ -8,21 +8,6 @@
 
 namespace jumanji {
 
-namespace {
-
-std::uint64_t
-mix(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ull;
-    x ^= x >> 33;
-    return x;
-}
-
-} // namespace
-
 Umon::Umon(const UmonParams &params)
     : params_(params),
       stacks_(params.sets),
@@ -37,27 +22,17 @@ Umon::Umon(const UmonParams &params)
     sampleRate_ = static_cast<double>(params.modelledLines) /
                   static_cast<double>(std::max<std::uint64_t>(1, tags));
     if (sampleRate_ < 1.0) sampleRate_ = 1.0;
+    rateInt_ = static_cast<std::uint64_t>(sampleRate_);
     for (auto &stack : stacks_) stack.reserve(params.ways);
 }
 
-bool
-Umon::sampled(LineAddr line) const
-{
-    // Hash-sample lines at 1/sampleRate. Using the line address (not
-    // the access) keeps a line's accesses consistently monitored.
-    std::uint64_t h = mix(line ^ 0x5bf03635ull);
-    auto rate = static_cast<std::uint64_t>(sampleRate_);
-    return (h % rate) == 0;
-}
-
 void
-Umon::access(LineAddr line)
+Umon::recordSampled(LineAddr line)
 {
-    accesses_++;
-    if (!sampled(line)) return;
     sampledAccesses_++;
 
-    auto set = static_cast<std::uint32_t>(mix(line) % params_.sets);
+    auto set = static_cast<std::uint32_t>(umon_detail::mix(line) %
+                                          params_.sets);
     auto &stack = stacks_[set];
 
     auto it = std::find(stack.begin(), stack.end(), line);
@@ -66,8 +41,9 @@ Umon::access(LineAddr line)
         JUMANJI_ASSERT(pos < hitCounters_.size(),
                        "recency position beyond UMON ways");
         hitCounters_[pos]++;
-        stack.erase(it);
-        stack.insert(stack.begin(), line);
+        // Move-to-front in one pass (erase + re-insert would shift
+        // the suffix twice); the resulting order is identical.
+        std::rotate(stack.begin(), it, it + 1);
     } else {
         missCounter_++;
         if (stack.size() >= params_.ways) stack.pop_back();

@@ -25,6 +25,22 @@ namespace jumanji {
 
 class StatRegistry;
 
+namespace umon_detail {
+
+/** Murmur-style finalizer used for hash sampling and set choice. */
+inline std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace umon_detail
+
 /** UMON geometry. */
 struct UmonParams
 {
@@ -44,8 +60,18 @@ class Umon
   public:
     explicit Umon(const UmonParams &params);
 
-    /** Observes one LLC access; internally sampled. */
-    void access(LineAddr line);
+    /**
+     * Observes one LLC access; internally sampled. Inline so the
+     * per-access fast path (count + hash + reject) stays call-free;
+     * only the ~1/sampleRate sampled accesses take the out-of-line
+     * LRU-stack update.
+     */
+    void access(LineAddr line)
+    {
+        accesses_++;
+        if (!sampled(line)) return;
+        recordSampled(line);
+    }
 
     /** Accesses observed (unsampled count). */
     std::uint64_t accesses() const { return accesses_; }
@@ -76,10 +102,22 @@ class Umon
     void registerStats(StatRegistry &reg, const std::string &prefix);
 
   private:
-    bool sampled(LineAddr line) const;
+    bool sampled(LineAddr line) const
+    {
+        // Hash-sample lines at 1/sampleRate. Using the line address
+        // (not the access) keeps a line's accesses consistently
+        // monitored.
+        std::uint64_t h = umon_detail::mix(line ^ 0x5bf03635ull);
+        return (h % rateInt_) == 0;
+    }
+
+    /** LRU-stack update for an access that passed the sample. */
+    void recordSampled(LineAddr line);
 
     UmonParams params_;
     double sampleRate_;
+    /** sampleRate_ truncated once, for the per-access modulo. */
+    std::uint64_t rateInt_;
 
     /** Per-set LRU stacks of line tags, most recent first. */
     std::vector<std::vector<LineAddr>> stacks_;

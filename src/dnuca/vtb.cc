@@ -2,41 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <vector>
+
+#include "src/sim/flat_map.hh"
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/statreg.hh"
 
 namespace jumanji {
-
-namespace {
-
-std::uint64_t
-mix(std::uint64_t x)
-{
-    x ^= x >> 31;
-    x *= 0x7fb5d329728ea185ull;
-    x ^= x >> 27;
-    x *= 0x81dadef4bc2dd44dull;
-    x ^= x >> 33;
-    return x;
-}
-
-} // namespace
-
-std::uint32_t
-PlacementDescriptor::slotFor(LineAddr line)
-{
-    return static_cast<std::uint32_t>(mix(line) % kSlots);
-}
-
-BankId
-PlacementDescriptor::bankFor(LineAddr line) const
-{
-    return slots_[slotFor(line)];
-}
 
 void
 PlacementDescriptor::fillProportional(
@@ -127,8 +101,9 @@ PlacementDescriptor
 PlacementDescriptor::stabilizedAgainst(const PlacementDescriptor &prev)
     const
 {
-    // Per-bank quotas of the new placement.
-    std::map<BankId, std::uint32_t> quota;
+    // Per-bank quotas of the new placement. FlatMap: per-epoch
+    // scratch, ascending-bank iteration like the std::map it replaces.
+    FlatMap<BankId, std::uint32_t> quota;
     for (BankId b : slots_) quota[b]++;
 
     PlacementDescriptor result;
@@ -211,15 +186,9 @@ Vtb::registerStats(StatRegistry &reg, const std::string &prefix)
 const PlacementDescriptor &
 Vtb::descriptor(VcId vc) const
 {
-    auto it = table_.find(vc);
-    if (it == table_.end()) panic("Vtb::descriptor: unknown VC");
-    return it->second;
-}
-
-BankId
-Vtb::lookup(VcId vc, LineAddr line) const
-{
-    return descriptor(vc).bankFor(line);
+    const PlacementDescriptor *d = table_.lookup(vc);
+    if (d == nullptr) panic("Vtb::descriptor: unknown VC");
+    return *d;
 }
 
 } // namespace jumanji

@@ -14,15 +14,31 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "src/sim/flat_map.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
 
 class StatRegistry;
+
+namespace vtb_detail {
+
+/** Hash spreading lines across descriptor slots. */
+inline std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 31;
+    x *= 0x7fb5d329728ea185ull;
+    x ^= x >> 27;
+    x *= 0x81dadef4bc2dd44dull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace vtb_detail
 
 /**
  * A placement descriptor: 128 slots, each naming the LLC bank that
@@ -38,11 +54,15 @@ class PlacementDescriptor
     BankId slot(std::uint32_t i) const { return slots_[i % kSlots]; }
     void setSlot(std::uint32_t i, BankId bank) { slots_[i % kSlots] = bank; }
 
-    /** Target bank for @p line. */
-    BankId bankFor(LineAddr line) const;
+    /** Target bank for @p line. Inline: probed twice per access. */
+    BankId bankFor(LineAddr line) const { return slots_[slotFor(line)]; }
 
     /** Hash slot used for @p line (exposed for tests/attacks). */
-    static std::uint32_t slotFor(LineAddr line);
+    static std::uint32_t slotFor(LineAddr line)
+    {
+        return static_cast<std::uint32_t>(vtb_detail::mix(line) %
+                                          kSlots);
+    }
 
     /**
      * Fills slots proportionally to per-bank capacity shares:
@@ -100,8 +120,27 @@ class Vtb
     /** The descriptor for @p vc. @pre has(vc). */
     const PlacementDescriptor &descriptor(VcId vc) const;
 
-    /** Target bank for (@p vc, @p line). @pre has(vc). */
-    BankId lookup(VcId vc, LineAddr line) const;
+    /**
+     * Hot-path variant: the descriptor for @p vc, or nullptr. Lets
+     * the access loop resolve the descriptor once and reuse the
+     * pointer instead of re-querying the table per level.
+     */
+    const PlacementDescriptor *
+    descriptorPtr(VcId vc) const
+    {
+        return table_.lookup(vc);
+    }
+
+    /**
+     * Target bank for (@p vc, @p line). @pre has(vc). Inline: called
+     * at issue and again at arrival for every access. The miss
+     * (unknown-VC) arm funnels through descriptor(), which panics.
+     */
+    BankId lookup(VcId vc, LineAddr line) const
+    {
+        const PlacementDescriptor *d = table_.lookup(vc);
+        return (d != nullptr ? *d : descriptor(vc)).bankFor(line);
+    }
 
     /** Removes all descriptors. */
     void clear() { table_.clear(); }
@@ -115,9 +154,10 @@ class Vtb
     void registerStats(StatRegistry &reg, const std::string &prefix);
 
   private:
-    // Ordered so that any walk over installed descriptors (stats,
-    // debugging dumps) visits VCs in a deterministic order.
-    std::map<VcId, PlacementDescriptor> table_;
+    // Dense and ascending-id ordered: the table is probed on every
+    // access, and any walk over installed descriptors (stats,
+    // debugging dumps) still visits VCs in a deterministic order.
+    SmallIdMap<VcId, PlacementDescriptor> table_;
     std::uint64_t installs_ = 0;
 };
 

@@ -51,6 +51,11 @@ void
 MemorySystem::setActiveVms(std::uint32_t count)
 {
     activeVms_ = std::max(1u, count);
+    // Pre-size every controller's virtual-queue table for the VM ids
+    // that will actually arrive, so the per-miss busy-until probe
+    // never allocates in steady state.
+    for (auto &queues : busyUntil_)
+        queues.reserve(static_cast<VmId>(activeVms_));
 }
 
 MemAccessResult

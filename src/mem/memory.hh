@@ -12,11 +12,11 @@
 #define JUMANJI_MEM_MEMORY_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/noc/mesh.hh"
+#include "src/sim/flat_map.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {
@@ -95,10 +95,12 @@ class MemorySystem
     std::vector<std::uint32_t> cornerTiles_;
     /**
      * busyUntil[controller][vm] with partitioning, else
-     * [controller][0]. Ordered map: deterministic iteration if the
-     * queues are ever walked for stats.
+     * [controller][0]. Dense per-VM tables, pre-sized from the active
+     * VM count (setActiveVms) so the per-miss queue probe indexes an
+     * array and steady-state operation never allocates; iteration (if
+     * the queues are ever walked for stats) stays ascending-VM.
      */
-    std::vector<std::map<VmId, Tick>> busyUntil_;
+    std::vector<SmallIdMap<VmId, Tick>> busyUntil_;
     /** Reserved latency-critical track per controller. */
     std::vector<Tick> lcBusyUntil_;
     std::uint32_t activeVms_ = 1;

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Deterministic flat containers for the per-access hot path.
+ *
+ * PR 1 banned unordered containers because their iteration order is
+ * nondeterministic, and replaced them with std::map — deterministic,
+ * but every lookup on the simulator's innermost loop became an
+ * O(log n) pointer-chasing tree walk. The simulator's keys (VcId,
+ * AppId, VmId, BankId) are small dense integers, so we can have both
+ * properties at once:
+ *
+ *  - SmallIdMap<Id, V>: a dense vector indexed by the id's integer
+ *    value with a presence bitmap. O(1) lookup/insert/erase, ordered
+ *    (ascending-id) iteration — the same visit order std::map<Id, V>
+ *    gives for integer keys, so swapping one for the other is
+ *    invisible to stats, fingerprints, and placement decisions.
+ *  - FlatMap<K, V>: a sorted-vector map for sparser or non-id keys.
+ *    O(log n) branch-free-ish binary search on a contiguous array,
+ *    ordered iteration over real std::pair references.
+ *
+ * Choosing between them (see docs/INTERNALS.md §11): SmallIdMap when
+ * the key is a non-negative small id (one sentinel value of -1 is
+ * also supported, occupying the first slot so iteration order still
+ * matches std::map); FlatMap when keys are sparse or mutation happens
+ * mid-iteration; std::map only off the hot path, with a lint
+ * suppression, when neither fits.
+ */
+
+#ifndef JUMANJI_SIM_FLAT_MAP_HH
+#define JUMANJI_SIM_FLAT_MAP_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+/**
+ * Dense id-indexed map. @p Id must be an integral (or integral-like)
+ * type whose useful values are small and >= -1; slot = id + 1, so the
+ * -1 sentinels (kInvalidApp/Vc/Vm/Bank) are storable and sort first,
+ * exactly as they do in std::map.
+ */
+template <typename Id, typename V>
+class SmallIdMap
+{
+  public:
+    /** Proxy yielded by iteration; supports `auto [id, v]` bindings. */
+    struct Entry
+    {
+        const Id first;
+        V &second;
+    };
+    struct ConstEntry
+    {
+        const Id first;
+        const V &second;
+    };
+
+    class const_iterator
+    {
+      public:
+        const_iterator(const SmallIdMap *m, std::size_t slot)
+            : m_(m), slot_(slot)
+        {
+            skipAbsent();
+        }
+
+        ConstEntry operator*() const
+        {
+            return {m_->idOfSlot(slot_), m_->values_[slot_]};
+        }
+        const_iterator &
+        operator++()
+        {
+            slot_++;
+            skipAbsent();
+            return *this;
+        }
+        bool operator==(const const_iterator &o) const
+        {
+            return slot_ == o.slot_;
+        }
+        bool operator!=(const const_iterator &o) const
+        {
+            return slot_ != o.slot_;
+        }
+
+      private:
+        void
+        skipAbsent()
+        {
+            while (slot_ < m_->values_.size() && !m_->presentSlot(slot_))
+                slot_++;
+        }
+        const SmallIdMap *m_;
+        std::size_t slot_;
+    };
+
+    class iterator
+    {
+      public:
+        iterator(SmallIdMap *m, std::size_t slot) : m_(m), slot_(slot)
+        {
+            skipAbsent();
+        }
+
+        Entry operator*() const
+        {
+            return {m_->idOfSlot(slot_), m_->values_[slot_]};
+        }
+        iterator &
+        operator++()
+        {
+            slot_++;
+            skipAbsent();
+            return *this;
+        }
+        bool operator==(const iterator &o) const
+        {
+            return slot_ == o.slot_;
+        }
+        bool operator!=(const iterator &o) const
+        {
+            return slot_ != o.slot_;
+        }
+
+      private:
+        void
+        skipAbsent()
+        {
+            while (slot_ < m_->values_.size() && !m_->presentSlot(slot_))
+                slot_++;
+        }
+        SmallIdMap *m_;
+        std::size_t slot_;
+    };
+
+    /** Value for @p id, default-constructing (and growing) if absent. */
+    V &
+    operator[](Id id)
+    {
+        std::size_t slot = slotOf(id);
+        if (slot >= values_.size()) grow(slot + 1);
+        if (!presentSlot(slot)) {
+            markPresent(slot);
+            size_++;
+        }
+        return values_[slot];
+    }
+
+    /** Pointer to @p id's value, or nullptr. The hot-path lookup. */
+    V *
+    lookup(Id id)
+    {
+        std::size_t slot = slotOf(id);
+        if (slot >= values_.size() || !presentSlot(slot)) return nullptr;
+        return &values_[slot];
+    }
+    const V *
+    lookup(Id id) const
+    {
+        std::size_t slot = slotOf(id);
+        if (slot >= values_.size() || !presentSlot(slot)) return nullptr;
+        return &values_[slot];
+    }
+
+    bool contains(Id id) const { return lookup(id) != nullptr; }
+    std::size_t count(Id id) const { return contains(id) ? 1 : 0; }
+
+    /** Removes @p id. @return entries removed (0 or 1). */
+    std::size_t
+    erase(Id id)
+    {
+        std::size_t slot = slotOf(id);
+        if (slot >= values_.size() || !presentSlot(slot)) return 0;
+        values_[slot] = V{}; // release resources eagerly
+        present_[slot >> 6] &= ~(1ull << (slot & 63));
+        size_--;
+        return 1;
+    }
+
+    void
+    clear()
+    {
+        values_.clear();
+        present_.clear();
+        size_ = 0;
+    }
+
+    /**
+     * Pre-allocates storage for ids in [-1, @p maxId]: subsequent
+     * operator[] calls in that range never allocate, which keeps
+     * steady-state hot paths allocation-free.
+     */
+    void
+    reserve(Id maxId)
+    {
+        std::size_t slots = slotOf(maxId) + 1;
+        values_.reserve(slots);
+        present_.reserve((slots + 63) / 64);
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, values_.size()); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const
+    {
+        return const_iterator(this, values_.size());
+    }
+
+  private:
+    static std::size_t
+    slotOf(Id id)
+    {
+        auto raw = static_cast<std::int64_t>(id);
+        if (raw < -1) panic("SmallIdMap: id below the -1 sentinel");
+        return static_cast<std::size_t>(raw + 1);
+    }
+    Id
+    idOfSlot(std::size_t slot) const
+    {
+        return static_cast<Id>(static_cast<std::int64_t>(slot) - 1);
+    }
+    bool
+    presentSlot(std::size_t slot) const
+    {
+        return (present_[slot >> 6] >> (slot & 63)) & 1ull;
+    }
+    void
+    markPresent(std::size_t slot)
+    {
+        present_[slot >> 6] |= 1ull << (slot & 63);
+    }
+    void
+    grow(std::size_t slots)
+    {
+        values_.resize(slots);
+        present_.resize((slots + 63) / 64, 0);
+    }
+
+    std::vector<V> values_;
+    /** Bit i set iff slot i holds a live entry. */
+    std::vector<std::uint64_t> present_;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Sorted-vector map: entries live contiguously in ascending key
+ * order, lookups binary-search. Iterators yield real
+ * std::pair<K, V> references, so `for (auto &[k, v] : m)` mutation
+ * works exactly as with std::map.
+ */
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    using value_type = std::pair<K, V>;
+    using iterator = typename std::vector<value_type>::iterator;
+    using const_iterator = typename std::vector<value_type>::const_iterator;
+
+    /** Value for @p key, default-constructing (and shifting) if absent. */
+    V &
+    operator[](const K &key)
+    {
+        iterator it = lowerBound(key);
+        if (it == entries_.end() || it->first != key)
+            it = entries_.insert(it, value_type(key, V{}));
+        return it->second;
+    }
+
+    V *
+    lookup(const K &key)
+    {
+        iterator it = lowerBound(key);
+        if (it == entries_.end() || it->first != key) return nullptr;
+        return &it->second;
+    }
+    const V *
+    lookup(const K &key) const
+    {
+        const_iterator it = lowerBound(key);
+        if (it == entries_.end() || it->first != key) return nullptr;
+        return &it->second;
+    }
+
+    iterator
+    find(const K &key)
+    {
+        iterator it = lowerBound(key);
+        if (it == entries_.end() || it->first != key)
+            return entries_.end();
+        return it;
+    }
+    const_iterator
+    find(const K &key) const
+    {
+        const_iterator it = lowerBound(key);
+        if (it == entries_.end() || it->first != key)
+            return entries_.end();
+        return it;
+    }
+
+    bool contains(const K &key) const { return lookup(key) != nullptr; }
+    std::size_t count(const K &key) const { return contains(key) ? 1 : 0; }
+
+    std::size_t
+    erase(const K &key)
+    {
+        iterator it = lowerBound(key);
+        if (it == entries_.end() || it->first != key) return 0;
+        entries_.erase(it);
+        return 1;
+    }
+
+    void clear() { entries_.clear(); }
+    void reserve(std::size_t n) { entries_.reserve(n); }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    iterator begin() { return entries_.begin(); }
+    iterator end() { return entries_.end(); }
+    const_iterator begin() const { return entries_.begin(); }
+    const_iterator end() const { return entries_.end(); }
+
+  private:
+    iterator
+    lowerBound(const K &key)
+    {
+        return std::lower_bound(entries_.begin(), entries_.end(), key,
+                                [](const value_type &e, const K &k) {
+                                    return e.first < k;
+                                });
+    }
+    const_iterator
+    lowerBound(const K &key) const
+    {
+        return std::lower_bound(entries_.begin(), entries_.end(), key,
+                                [](const value_type &e, const K &k) {
+                                    return e.first < k;
+                                });
+    }
+
+    std::vector<value_type> entries_;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_SIM_FLAT_MAP_HH

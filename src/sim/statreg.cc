@@ -87,6 +87,7 @@ StatRegistry::insert(const std::string &name, Node node)
     // fingerprint stream.
     if (!inserted)
         panic("StatRegistry: duplicate stat name '" + name + "'");
+    leafCacheValid_ = false;
     return it->second;
 }
 
@@ -158,60 +159,117 @@ StatRegistry::has(const std::string &name) const
     return nodes_.count(name) > 0;
 }
 
+int
+StatRegistry::partCount(const Node &node)
+{
+    if (node.kind != Kind::Distribution) return 1;
+    if (node.samples != nullptr) return 7;
+    return 3 + static_cast<int>(node.hist->numBins());
+}
+
+std::string
+StatRegistry::partName(const std::string &name, const Node &node,
+                       int part)
+{
+    if (part < 0) return name;
+    if (node.samples != nullptr) {
+        static const char *kSuffixes[7] = {".count", ".mean", ".min",
+                                           ".max",   ".p50",  ".p95",
+                                           ".p99"};
+        return name + kSuffixes[part];
+    }
+    switch (part) {
+    case 0: return name + ".total";
+    case 1: return name + ".underflow";
+    case 2: return name + ".overflow";
+    default:
+        return name + ".b" +
+               statIndexName(static_cast<std::uint64_t>(part - 3));
+    }
+}
+
+double
+StatRegistry::leafValue(const Node &node, int part)
+{
+    switch (node.kind) {
+    case Kind::Counter: return static_cast<double>(*node.counter);
+    case Kind::Gauge:
+    case Kind::Formula: return node.read();
+    case Kind::Distribution: break;
+    }
+    if (node.samples != nullptr) {
+        const SampleStat &s = *node.samples;
+        switch (part) {
+        case 0: return static_cast<double>(s.count());
+        case 1: return s.mean();
+        case 2: return s.min();
+        case 3: return s.max();
+        case 4: return s.percentile(50.0);
+        case 5: return s.percentile(95.0);
+        case 6: return s.percentile(99.0);
+        default: panic("StatRegistry: bad sample-stat leaf part");
+        }
+    }
+    const Histogram &h = *node.hist;
+    switch (part) {
+    case 0: return static_cast<double>(h.total());
+    case 1: return static_cast<double>(h.underflow());
+    case 2: return static_cast<double>(h.overflow());
+    default: return static_cast<double>(h.counts()[part - 2]);
+    }
+}
+
 void
 StatRegistry::appendLeaves(const std::string &name, const Node &node,
                            std::vector<StatValue> &out) const
 {
-    switch (node.kind) {
-    case Kind::Counter:
-        out.push_back({name, static_cast<double>(*node.counter)});
-        return;
-    case Kind::Gauge:
-    case Kind::Formula:
-        out.push_back({name, node.read()});
-        return;
-    case Kind::Distribution:
-        break;
-    }
-    if (node.samples != nullptr) {
-        const SampleStat &s = *node.samples;
-        out.push_back({name + ".count",
-                       static_cast<double>(s.count())});
-        out.push_back({name + ".mean", s.mean()});
-        out.push_back({name + ".min", s.min()});
-        out.push_back({name + ".max", s.max()});
-        out.push_back({name + ".p50", s.percentile(50.0)});
-        out.push_back({name + ".p95", s.percentile(95.0)});
-        out.push_back({name + ".p99", s.percentile(99.0)});
+    int parts = partCount(node);
+    if (node.kind != Kind::Distribution) {
+        out.push_back({name, leafValue(node, -1)});
         return;
     }
-    const Histogram &h = *node.hist;
-    out.push_back({name + ".total", static_cast<double>(h.total())});
-    out.push_back({name + ".underflow",
-                   static_cast<double>(h.underflow())});
-    out.push_back({name + ".overflow",
-                   static_cast<double>(h.overflow())});
-    for (std::size_t b = 0; b < h.numBins(); b++) {
-        out.push_back({name + ".b" + statIndexName(b),
-                       static_cast<double>(h.counts()[b + 1])});
+    for (int part = 0; part < parts; part++)
+        out.push_back({partName(name, node, part),
+                       leafValue(node, part)});
+}
+
+void
+StatRegistry::ensureLeafCache() const
+{
+    if (leafCacheValid_) return;
+    leafCache_.clear();
+    leafCache_.reserve(nodes_.size());
+    for (const auto &[name, node] : nodes_) {
+        if (node.kind != Kind::Distribution) {
+            leafCache_.push_back({name, &name, &node, -1});
+            continue;
+        }
+        int parts = partCount(node);
+        for (int part = 0; part < parts; part++)
+            leafCache_.push_back(
+                {partName(name, node, part), &name, &node, part});
     }
+    // One sort at build time gives every later snapshot, dump, and
+    // fingerprint its total order by full leaf name. The node map is
+    // already name-ordered, but distribution expansions append their
+    // suffixes in summary order (.count, .mean, ...), and sibling
+    // names can interleave ('-' sorts before '.').
+    std::sort(leafCache_.begin(), leafCache_.end(),
+              [](const LeafRef &a, const LeafRef &b) {
+                  return a.name < b.name;
+              });
+    leafCacheValid_ = true;
 }
 
 namespace {
 
-/**
- * Snapshots are sorted by full leaf name: node names come out of the
- * map ordered, but distribution expansions append their suffixes in
- * summary order (.count, .mean, ...), and consumers (binary search in
- * RunResult::stat, the nested-JSON grouper) need a total order.
- */
-void
-sortByName(std::vector<StatValue> &stats)
+bool
+matchesAnySelector(const std::string &nodeName,
+                   const std::vector<std::string> &selectors)
 {
-    std::sort(stats.begin(), stats.end(),
-              [](const StatValue &a, const StatValue &b) {
-                  return a.name < b.name;
-              });
+    for (const auto &sel : selectors)
+        if (nodeName.compare(0, sel.size(), sel) == 0) return true;
+    return false;
 }
 
 } // namespace
@@ -219,38 +277,45 @@ sortByName(std::vector<StatValue> &stats)
 std::vector<StatValue>
 StatRegistry::snapshot() const
 {
+    ensureLeafCache();
     std::vector<StatValue> out;
-    out.reserve(nodes_.size());
-    for (const auto &[name, node] : nodes_)
-        appendLeaves(name, node, out);
-    sortByName(out);
+    out.reserve(leafCache_.size());
+    for (const LeafRef &leaf : leafCache_)
+        out.push_back({leaf.name, leafValue(*leaf.node, leaf.part)});
     return out;
 }
 
 std::vector<StatValue>
 StatRegistry::snapshot(const std::vector<std::string> &selectors) const
 {
+    ensureLeafCache();
     std::vector<StatValue> out;
-    for (const auto &[name, node] : nodes_) {
-        bool selected = false;
-        for (const auto &sel : selectors) {
-            if (name.compare(0, sel.size(), sel) == 0) {
-                selected = true;
-                break;
-            }
-        }
-        if (selected) appendLeaves(name, node, out);
+    for (const LeafRef &leaf : leafCache_) {
+        if (!matchesAnySelector(*leaf.nodeName, selectors)) continue;
+        out.push_back({leaf.name, leafValue(*leaf.node, leaf.part)});
     }
-    sortByName(out);
     return out;
+}
+
+void
+StatRegistry::snapshotValues(const std::vector<std::string> &selectors,
+                             std::vector<double> &out) const
+{
+    ensureLeafCache();
+    for (const LeafRef &leaf : leafCache_) {
+        if (!matchesAnySelector(*leaf.nodeName, selectors)) continue;
+        out.push_back(leafValue(*leaf.node, leaf.part));
+    }
 }
 
 std::vector<std::string>
 StatRegistry::leaves(const std::vector<std::string> &selectors) const
 {
+    ensureLeafCache();
     std::vector<std::string> names;
-    for (const StatValue &sv : snapshot(selectors))
-        names.push_back(sv.name);
+    for (const LeafRef &leaf : leafCache_)
+        if (matchesAnySelector(*leaf.nodeName, selectors))
+            names.push_back(leaf.name);
     return names;
 }
 
@@ -366,16 +431,15 @@ EpochRecorder::record(Tick now)
         series_.columns = reg_->leaves(selectors_);
         resolved_ = true;
     }
-    std::vector<StatValue> snap = reg_->snapshot(selectors_);
+    std::vector<double> row;
+    row.reserve(series_.columns.size());
+    reg_->snapshotValues(selectors_, row);
     // Registration after the first record() would desynchronize rows
     // from the column header; the registry is ordered, so a same-size
-    // snapshot has the same leaves.
-    JUMANJI_INVARIANT(snap.size() == series_.columns.size(),
+    // value sweep has the same leaves.
+    JUMANJI_INVARIANT(row.size() == series_.columns.size(),
                       "stats registered after the first epoch record");
     series_.ticks.push_back(now);
-    std::vector<double> row;
-    row.reserve(snap.size());
-    for (const StatValue &sv : snap) row.push_back(sv.value);
     series_.rows.push_back(std::move(row));
 }
 

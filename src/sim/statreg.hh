@@ -123,6 +123,16 @@ class StatRegistry
     /** Folds the full snapshot (names and values) into @p fp. */
     void fold(Fingerprint &fp) const;
 
+    /**
+     * Appends the values of the selected leaves to @p out, in the
+     * same order snapshot(selectors) would produce them, without
+     * materializing leaf names. The per-epoch recorder uses this:
+     * columns are resolved once with leaves(), then every record()
+     * reads values only.
+     */
+    void snapshotValues(const std::vector<std::string> &selectors,
+                        std::vector<double> &out) const;
+
   private:
     struct Node
     {
@@ -134,12 +144,40 @@ class StatRegistry
         const Histogram *hist = nullptr;
     };
 
+    /**
+     * One snapshot leaf in the cached, name-sorted expansion of the
+     * registry. Scalar nodes yield one leaf (part == -1);
+     * distributions yield one leaf per summary component.
+     */
+    struct LeafRef
+    {
+        std::string name;
+        /** Owning node's registered name (selector matching). */
+        const std::string *nodeName;
+        const Node *node;
+        int part;
+    };
+
     const Node &insert(const std::string &name, Node node);
     void appendLeaves(const std::string &name, const Node &node,
                       std::vector<StatValue> &out) const;
+    static int partCount(const Node &node);
+    static std::string partName(const std::string &name,
+                                const Node &node, int part);
+    static double leafValue(const Node &node, int part);
+    void ensureLeafCache() const;
 
     /** Ordered by name: all walks are deterministic. */
     std::map<std::string, Node> nodes_;
+
+    /**
+     * Leaf expansion sorted by leaf name, rebuilt lazily after any
+     * registration. Snapshots and dumps reuse this order instead of
+     * re-sorting on every call; node names and Node slots are
+     * pointer-stable (map nodes), so cached pointers stay valid.
+     */
+    mutable std::vector<LeafRef> leafCache_;
+    mutable bool leafCacheValid_ = false;
 };
 
 /**

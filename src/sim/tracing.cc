@@ -152,10 +152,17 @@ void
 Tracer::counter(std::uint32_t pid, const char *name, Tick ts,
                 double value)
 {
+    counterInterned(pid, intern(name), ts, value);
+}
+
+void
+Tracer::counterInterned(std::uint32_t pid, const char *internedName,
+                        Tick ts, double value)
+{
     Event e;
     e.ph = 'C';
     e.pid = pid;
-    e.name = intern(name);
+    e.name = internedName;
     e.ts = ts;
     e.args.push_back({"value", value});
     push(std::move(e));

@@ -89,6 +89,21 @@ class Tracer
                  double value);
 
     /**
+     * Copies @p name into this tracer's pointer-stable interned
+     * storage and returns the stable pointer. Hot emitters intern
+     * their track names once at setup and then use counterInterned(),
+     * so per-sample emission skips the interning lookup.
+     */
+    const char *internName(const char *name) { return intern(name); }
+
+    /**
+     * counter() for a name previously returned by internName() on
+     * *this* tracer: no per-call interning lookup.
+     */
+    void counterInterned(std::uint32_t pid, const char *internedName,
+                         Tick ts, double value);
+
+    /**
      * Allocates a single-process lane block named @p name (the
      * driver's per-worker lanes live in one such process, unlike the
      * three-process blocks beginRun hands to Systems).

@@ -70,8 +70,8 @@ class System::Sampler : public Agent
             std::uint32_t banksPid =
                 sys_->tracePid_ + Tracer::kBanksPid;
             for (std::uint32_t b = 0; b < path.numBanks(); b++) {
-                tracer->counter(
-                    banksPid, sys_->bankTrackNames_[b].c_str(), now,
+                tracer->counterInterned(
+                    banksPid, sys_->bankTrackNames_[b], now,
                     static_cast<double>(
                         path.bank(b).constArray().validLines()));
             }
@@ -452,12 +452,14 @@ System::setupTracing()
     tracePid_ = tracer->beginRun(config_.traceLabel);
     runtime_->setTracer(tracer, tracePid_);
 
-    // Counter-track names must outlive every counter() call: the
-    // tracer keeps raw char pointers until serialization, so the
-    // vector is filled once here and never touched again.
+    // Intern the per-bank track names once: the tracer's interned
+    // storage is pointer-stable, so the sampler can emit with
+    // counterInterned() and skip the per-epoch interning lookup.
+    bankTrackNames_.clear();
     bankTrackNames_.reserve(path_->numBanks());
     for (std::uint32_t b = 0; b < path_->numBanks(); b++)
-        bankTrackNames_.push_back("occupancy.bank" + statIndexName(b));
+        bankTrackNames_.push_back(tracer->internName(
+            ("occupancy.bank" + statIndexName(b)).c_str()));
 
     tracer->threadName(tracePid_ + Tracer::kRuntimePid, 0, "placement");
     for (const AppSlot &slot : slots_) {

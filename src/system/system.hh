@@ -202,8 +202,12 @@ class System
 
     /** Trace lane block (valid when config_.tracer != nullptr). */
     std::uint32_t tracePid_ = 0;
-    /** Stable per-bank counter-track names (c_str handed to tracer). */
-    std::vector<std::string> bankTrackNames_;
+    /**
+     * Per-bank counter-track names, interned into the tracer's
+     * pointer-stable storage once at setup so the sampler's per-epoch
+     * emission skips the interning lookup.
+     */
+    std::vector<const char *> bankTrackNames_;
 
     struct AppSlot
     {

@@ -31,9 +31,9 @@ main()
         std::uint64_t lcTotal = 0, batchTotal = 0;
         for (std::size_t i = 0; i < run.apps.size(); i++) {
             const auto &app = run.apps[i];
-            auto it = last.allocLines.find(static_cast<VcId>(i));
-            std::uint64_t lines = it == last.allocLines.end() ? 0
-                                                              : it->second;
+            const std::uint64_t *slot =
+                last.allocLines.lookup(static_cast<VcId>(i));
+            std::uint64_t lines = slot == nullptr ? 0 : *slot;
             if (app.latencyCritical) lcTotal += lines;
             else batchTotal += lines;
             std::printf("  vm%d %-16s %s alloc=%6llu hit%%=%5.1f "

@@ -33,6 +33,12 @@
  *                          every run as one long-format CSV
  *     --trace-out <file>   write a Chrome trace-event JSON covering
  *                          all runs (chrome://tracing / Perfetto)
+ *     --bench-json <file>  wall-clock perf harness: run the
+ *                          fig13-shaped sweep (every LC app plus
+ *                          Mixed, high and low load, --mixes mixes
+ *                          each) with the result cache disabled, and
+ *                          write {wall_seconds, simulated_accesses,
+ *                          accesses_per_sec, jobs} as JSON
  *
  * Prints one row per design: tail ratio (mean/worst over LC apps),
  * gmean batch weighted speedup vs. Static, and attackers/access.
@@ -43,6 +49,7 @@
  * docs/INTERNALS.md).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -70,7 +77,7 @@ usage(const char *argv0, int exitCode = 2)
                  "[--seed N] [--paper-scale] [--jobs N] "
                  "[--cache-dir DIR] [--sweep] [--selfcheck] "
                  "[--stats-json FILE] [--timeline-csv FILE] "
-                 "[--trace-out FILE]\n",
+                 "[--trace-out FILE] [--bench-json FILE]\n",
                  argv0);
     std::exit(exitCode);
 }
@@ -144,6 +151,109 @@ writeTimelineCsv(std::ostream &os, const std::vector<MixResult> &results)
     }
 }
 
+/**
+ * --bench-json: end-to-end wall-clock measurement of the fig13-shaped
+ * sweep (the project's heaviest standard workload). The result cache
+ * is always disabled — a warm cache would time deserialization, not
+ * simulation — and the calibration phase is included, matching what a
+ * cold fig13_main_eval run pays. simulated_accesses is summed from
+ * each run's stats dump (llc.hits + llc.misses), so the throughput
+ * figure is comparable across code versions exactly when semantics
+ * are unchanged; a semantic change shifts the access count and shows
+ * up as more than a throughput delta.
+ *
+ * The wall-clock read lives here and not in src/ deliberately: the
+ * simulator itself must stay free of wall-clock dependence (the lint
+ * pass enforces it), while the harness around it is the one place
+ * where real time is the measurand.
+ */
+int
+runBenchJson(const std::string &path, const SystemConfig &cfg,
+             std::uint32_t mixes, std::uint32_t jobs)
+{
+    driver::Orchestrator::Options opts;
+    opts.jobs = jobs;
+    driver::Orchestrator orch(opts);
+
+    auto start = std::chrono::steady_clock::now();
+
+    ExperimentHarness harness(cfg);
+    {
+        std::vector<driver::CalibrationJob> plan;
+        for (const auto &name : allTailAppNames())
+            plan.push_back({name, harness.baseConfig()});
+        std::vector<LcCalibration> calibrations =
+            orch.runCalibrations(plan);
+        for (std::size_t i = 0; i < plan.size(); i++)
+            harness.setCalibration(plan[i].lcName, calibrations[i]);
+    }
+
+    std::vector<LlcDesign> designs = {
+        LlcDesign::Adaptive, LlcDesign::VMPart, LlcDesign::Jigsaw,
+        LlcDesign::Jumanji};
+
+    // The fig13 group structure: each LC app alone plus the Mixed
+    // selection, at high and low load, `mixes` mixes per group, with
+    // the same per-mix seeds and shared calibrations.
+    driver::JobGraph graph;
+    for (LoadLevel load : {LoadLevel::High, LoadLevel::Low}) {
+        std::vector<std::vector<std::string>> groups;
+        for (const auto &lc : allTailAppNames())
+            groups.push_back({lc});
+        groups.push_back(allTailAppNames());
+        for (const auto &lcNames : groups) {
+            for (std::uint32_t m = 0; m < mixes; m++) {
+                driver::SweepJob job;
+                job.label = lcNames.size() == 1 ? lcNames[0] : "Mixed";
+                job.label += std::string("/") +
+                             (load == LoadLevel::High ? "high" : "low") +
+                             "/mix" + std::to_string(m);
+                job.config = harness.baseConfig();
+                job.config.seed =
+                    harness.baseConfig().seed + m * 1000003ull;
+                Rng mixRng(job.config.seed ^ 0x5eedull);
+                job.mix = makeMix(lcNames, 4, 4, mixRng);
+                job.designs = designs;
+                job.load = load;
+                job.selfCalibrate = false;
+                job.calibrations = harness.calibrationsFor(job.mix);
+                graph.add(std::move(job));
+            }
+        }
+    }
+    std::vector<driver::JobOutcome> outcomes = orch.run(graph);
+
+    double accesses = 0.0;
+    for (driver::JobId id = 0; id < outcomes.size(); id++) {
+        if (!outcomes[id].ok)
+            fatal("bench job " + std::to_string(id) +
+                  " failed: " + outcomes[id].error);
+        for (const DesignResult &d : outcomes[id].result.designs)
+            accesses += d.run.stat("llc.hits") + d.run.stat("llc.misses");
+    }
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    double rate = wall > 0.0 ? accesses / wall : 0.0;
+
+    std::ofstream os(path);
+    if (!os) fatal("cannot open " + path);
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"wall_seconds\": %.3f,\n"
+                  " \"simulated_accesses\": %.0f,\n"
+                  " \"accesses_per_sec\": %.0f,\n"
+                  " \"jobs\": %u}\n",
+                  wall, accesses, rate, jobs);
+    os << buf;
+
+    std::printf("bench: %.0f accesses in %.3f s = %.0f accesses/s "
+                "(%u jobs) -> %s\n",
+                accesses, wall, rate, jobs, path.c_str());
+    return 0;
+}
+
 LlcDesign
 parseDesign(const std::string &name)
 {
@@ -175,6 +285,7 @@ main(int argc, char **argv)
     bool sweepMode = false;
     bool selfcheck = false;
     std::string statsJsonPath, timelineCsvPath, traceOutPath;
+    std::string benchJsonPath;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -226,6 +337,8 @@ main(int argc, char **argv)
                 timelineCsvPath = next();
             } else if (arg == "--trace-out") {
                 traceOutPath = next();
+            } else if (arg == "--bench-json") {
+                benchJsonPath = next();
             } else if (arg == "--help" || arg == "-h") {
                 usage(argv[0], 0);
             } else {
@@ -269,6 +382,9 @@ main(int argc, char **argv)
     }
 
     try {
+        if (!benchJsonPath.empty())
+            return runBenchJson(benchJsonPath, cfg, mixes, jobs);
+
         // Each traced job gets a private tracer that the orchestrator
         // merges back in submission order, so the combined trace is
         // the same whatever the worker count (plus a schedule lane).

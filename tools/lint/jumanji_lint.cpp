@@ -32,6 +32,15 @@
  *                      through the registry/tracer serializers. The
  *                      designated sinks (sim/logging.cc,
  *                      sim/statreg.cc, sim/tracing.cc) are exempt.
+ *   hot-path-container std::map/std::unordered_map (and multimap
+ *                      variants, plus their headers) are banned in
+ *                      the per-access subsystems (src/cache/,
+ *                      src/cpu/, src/dnuca/, src/mem/): node-based
+ *                      maps cost a pointer-chasing tree walk per
+ *                      access. Dense tables (SmallIdMap) or sorted
+ *                      vectors (FlatMap, src/sim/flat_map.hh) are the
+ *                      sanctioned replacements; std::map stays fine
+ *                      in cold code (stats, driver, setup).
  *   concurrency-routing threading primitives (std::thread, mutexes,
  *                      atomics, condition variables, futures and
  *                      their headers) are banned in src/ outside
@@ -557,6 +566,61 @@ checkIoRouting(const SourceFile &sf, std::vector<Finding> &findings)
     }
 }
 
+// --- Rule: hot-path-container -----------------------------------------
+
+/**
+ * The per-access subsystems are the simulator's hot path; everything
+ * else (sim/, core/, driver/, system/) may keep node-based maps for
+ * cold bookkeeping.
+ */
+bool
+hotPathContainerApplies(const std::string &path)
+{
+    for (const char *dir :
+         {"src/cache/", "src/cpu/", "src/dnuca/", "src/mem/"})
+        if (path.find(dir) != std::string::npos) return true;
+    return false;
+}
+
+void
+checkHotPathContainers(const SourceFile &sf,
+                       std::vector<Finding> &findings)
+{
+    if (!hotPathContainerApplies(sf.path)) return;
+    // Type uses: the container name followed by a template argument
+    // list. Whole-identifier matching keeps SmallIdMap/FlatMap and
+    // friends from tripping the "map" entry.
+    static const char *kBanned[] = {"map", "multimap", "unordered_map",
+                                    "unordered_multimap"};
+    for (const char *word : kBanned) {
+        for (std::size_t at : findWord(sf.code, word)) {
+            std::size_t i = skipSpaces(sf.code, at + std::strlen(word));
+            if (i >= sf.code.size() || sf.code[i] != '<') continue;
+            report(findings, sf, "hot-path-container", at,
+                   std::string(word) +
+                       ": node-based maps tree-walk per access; use "
+                       "SmallIdMap/FlatMap (src/sim/flat_map.hh) in "
+                       "per-access code");
+        }
+    }
+    // The includes themselves (scan raw: header names are blanked in
+    // code).
+    std::size_t pos = 0;
+    while ((pos = sf.raw.find("#include", pos)) != std::string::npos) {
+        std::size_t eol = sf.raw.find('\n', pos);
+        if (eol == std::string::npos) eol = sf.raw.size();
+        std::string line = sf.raw.substr(pos, eol - pos);
+        for (const char *header : {"<map>", "<unordered_map>"})
+            if (line.find(header) != std::string::npos)
+                report(findings, sf, "hot-path-container", pos,
+                       std::string("#include ") + header +
+                           ": node-based maps tree-walk per access; "
+                           "use SmallIdMap/FlatMap "
+                           "(src/sim/flat_map.hh) in per-access code");
+        pos = eol;
+    }
+}
+
 // --- Rule: concurrency-routing ----------------------------------------
 
 /**
@@ -750,6 +814,7 @@ main(int argc, char **argv)
         checkRawNewDelete(sf, findings);
         checkFloat(sf, findings);
         checkIoRouting(sf, findings);
+        checkHotPathContainers(sf, findings);
         checkConcurrencyRouting(sf, findings);
     }
 
