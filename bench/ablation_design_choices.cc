@@ -12,98 +12,34 @@
  *     hardware behaviour).
  *  5. The trading algorithm the paper built and rejected: trades are
  *     rare and gains marginal (Sec. V-D / VIII-C).
+ *
+ * Studies 1-4 are spec variants (bench/specs.hh); study 5 drives the
+ * trading policy directly (the factory doesn't expose it — the paper
+ * shipped without it), reusing the spec's baseline config and mix.
  */
 
-#include "bench/bench_common.hh"
+#include "bench/specs.hh"
 #include "src/core/trade_policy.hh"
 
 using namespace jumanji;
 using namespace jumanji::bench;
 
-namespace {
-
-struct Row
-{
-    double tail;
-    double batchWs;
-};
-
-Row
-runVariant(const SystemConfig &cfg, const WorkloadMix &mix)
-{
-    ExperimentHarness harness(cfg);
-    MixResult r = harness.runMix(mix, {LlcDesign::Jumanji},
-                                 LoadLevel::High);
-    const DesignResult &ju = r.of(LlcDesign::Jumanji);
-    return Row{ju.meanTailRatio, ju.batchSpeedup};
-}
-
-} // namespace
-
 int
 main()
 {
     setQuiet(true);
-    header("Ablations", "design-choice studies (Jumanji, case-study "
-                        "workload)");
 
-    SystemConfig base = benchConfig();
-    Rng rng(base.seed);
-    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
-
-    std::printf("%-34s %12s %12s\n", "variant", "tail ratio",
-                "batchWS");
-
-    {
-        Row r = runVariant(base, mix);
-        std::printf("%-34s %12.3f %12.3f\n", "baseline (all defaults)",
-                    r.tail, r.batchWs);
-    }
-
-    // 1. Epoch length sweep.
-    for (double factor : {0.5, 2.0}) {
-        SystemConfig cfg = base;
-        cfg.epochTicks = static_cast<Tick>(
-            static_cast<double>(base.epochTicks) * factor);
-        Row r = runVariant(cfg, mix);
-        char label[64];
-        std::snprintf(label, sizeof label, "epoch x%.1f", factor);
-        std::printf("%-34s %12.3f %12.3f\n", label, r.tail, r.batchWs);
-    }
-
-    // 2. Raw (non-hulled) miss curves.
-    {
-        SystemConfig cfg = base;
-        cfg.hullCurves = false;
-        Row r = runVariant(cfg, mix);
-        std::printf("%-34s %12.3f %12.3f\n", "raw curves (no hull)",
-                    r.tail, r.batchWs);
-    }
-
-    // 3. No batch-curve rate normalization.
-    {
-        SystemConfig cfg = base;
-        cfg.rateNormalizeCurves = false;
-        Row r = runVariant(cfg, mix);
-        std::printf("%-34s %12.3f %12.3f\n",
-                    "no rate normalization", r.tail, r.batchWs);
-    }
-
-    // 4. Invalidating coherence walk (literal hardware model).
-    {
-        SystemConfig cfg = base;
-        cfg.migrateOnReconfig = false;
-        Row r = runVariant(cfg, mix);
-        std::printf("%-34s %12.3f %12.3f\n",
-                    "invalidate on reconfig", r.tail, r.batchWs);
-    }
+    driver::ExperimentSpec spec = specs::ablationVariants();
+    header(spec.output.title, spec.output.caption);
+    driver::SpecRun run = runSpec(spec);
+    std::fputs(driver::renderSpecTable(spec, run).c_str(), stdout);
 
     // 5. The trading algorithm (the paper's rejected refinement).
     {
-        // Driven directly: the policy factory doesn't expose it (the
-        // paper shipped without it), so count trades on the paper's
-        // standard inputs.
-        SystemConfig cfg = base;
+        // The baseline variant's config and mix, exactly as expanded.
+        SystemConfig cfg = run.plan.variantConfigs[0];
+        cfg.seed = run.plan.graph.job(0).config.seed;
+        const WorkloadMix &mix = run.plan.graph.job(0).mix;
         ExperimentHarness harness(cfg);
         auto calib = harness.calibrationsFor(mix);
 

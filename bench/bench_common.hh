@@ -21,22 +21,39 @@
 #include <vector>
 
 #include "src/driver/orchestrator.hh"
+#include "src/driver/spec.hh"
 #include "src/sim/logging.hh"
 #include "src/system/harness.hh"
 
 namespace jumanji {
 namespace bench {
 
+/**
+ * JUMANJI_SEED override, else @p fallback. Accepted range is
+ * [1, 2^64-1]; 0 or garbage warns once and falls back (see
+ * driver::seedFromEnv, which this delegates to — also the reason no
+ * bench needs getenv for seeds, which the env-routing lint rule
+ * enforces).
+ */
 inline std::uint64_t
 seedFromEnv(std::uint64_t fallback = 1)
 {
-    const char *env = std::getenv("JUMANJI_SEED");
-    if (env == nullptr) return fallback;
-    std::uint64_t v = std::strtoull(env, nullptr, 10);
-    return v == 0 ? fallback : v;
+    return driver::seedFromEnv(fallback);
 }
 
-/** The five designs of the main comparison (Sec. VII). */
+/** The Static normalization baseline every comparison is run against. */
+inline LlcDesign
+baselineDesign()
+{
+    return LlcDesign::Static;
+}
+
+/**
+ * The four non-baseline designs of the main comparison (Sec. VII).
+ * baselineDesign() is not listed: the harness always runs Static
+ * first as the normalization baseline, so jobs carry only the
+ * designs compared against it.
+ */
 inline std::vector<LlcDesign>
 mainDesigns()
 {
@@ -121,6 +138,32 @@ runJobs(const driver::JobGraph &graph)
         results.push_back(std::move(outcomes[id].result));
     }
     return results;
+}
+
+/**
+ * Runs a spec through the process-wide orchestrator and returns the
+ * plan + results (for benches that post-process, e.g. the ablation's
+ * trading probe).
+ */
+inline driver::SpecRun
+runSpec(const driver::ExperimentSpec &spec)
+{
+    return driver::runSpec(spec, orchestrator());
+}
+
+/**
+ * The whole body of a spec-driven bench binary: banner, run, table,
+ * note — byte-identical to the former handwritten loops (the banner
+ * still prints before the first simulation starts, so a crashed run
+ * is attributable).
+ */
+inline void
+runSpecMain(const driver::ExperimentSpec &spec)
+{
+    header(spec.output.title, spec.output.caption);
+    driver::SpecRun run = runSpec(spec);
+    std::fputs(driver::renderSpecTable(spec, run).c_str(), stdout);
+    if (!spec.output.note.empty()) note(spec.output.note);
 }
 
 } // namespace bench

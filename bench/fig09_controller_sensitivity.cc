@@ -6,93 +6,19 @@
  *
  * Paper shape: speedup and tail latency barely change across
  * parameter values ("Jumanji is insensitive to values").
+ *
+ * Each sensitivity point is a spec variant replacing the whole
+ * controller block (bench/specs.hh); every point self-calibrates, as
+ * the former fresh-harness-per-point loop did.
  */
 
-#include "bench/bench_common.hh"
-
-using namespace jumanji;
-using namespace jumanji::bench;
-
-namespace {
-
-/** One sensitivity point: a label plus the controller under test. */
-struct Point
-{
-    std::string label;
-    ControllerParams params;
-};
-
-} // namespace
+#include "bench/specs.hh"
 
 int
 main()
 {
-    setQuiet(true);
-    header("Figure 9", "feedback-controller parameter sensitivity");
-
-    SystemConfig cfg = benchConfig();
-    Rng rng(cfg.seed);
-    WorkloadMix mix = makeMix({"xapian"}, 4, 4, rng);
-
-    std::vector<Point> points;
-
-    // Group 1: target latency range (lowFrac, highFrac).
-    for (auto [lo, hi] : {std::pair{0.80, 0.90}, {0.85, 0.95},
-                          {0.90, 0.99}}) {
-        ControllerParams p;
-        p.lowFrac = lo;
-        p.highFrac = hi;
-        char label[64];
-        std::snprintf(label, sizeof label, "range [%.2f, %.2f]%s", lo,
-                      hi, lo == 0.85 ? " *" : "");
-        points.push_back({label, p});
-    }
-
-    // Group 2: panic threshold.
-    for (double panic : {1.05, 1.10, 1.20}) {
-        ControllerParams p;
-        p.panicFrac = panic;
-        char label[64];
-        std::snprintf(label, sizeof label, "panic %.2f%s", panic,
-                      panic == 1.10 ? " *" : "");
-        points.push_back({label, p});
-    }
-
-    // Group 3: step size.
-    for (double step : {0.05, 0.10, 0.20}) {
-        ControllerParams p;
-        p.stepFrac = step;
-        char label[64];
-        std::snprintf(label, sizeof label, "step %.2f%s", step,
-                      step == 0.10 ? " *" : "");
-        points.push_back({label, p});
-    }
-
-    // Every point is an independent self-calibrating job (the serial
-    // version built a fresh one-shot harness per point): same
-    // results, fanned out over the worker pool.
-    driver::JobGraph graph;
-    for (const Point &point : points) {
-        driver::SweepJob job;
-        job.label = point.label;
-        job.config = cfg;
-        job.config.controller = point.params;
-        job.mix = mix;
-        job.designs = {LlcDesign::Jumanji};
-        job.load = LoadLevel::High;
-        graph.add(std::move(job));
-    }
-    std::vector<MixResult> results = runJobs(graph);
-
-    std::printf("%-26s %12s %12s\n", "parameters", "batchWS",
-                "tail ratio");
-    for (std::size_t i = 0; i < points.size(); i++) {
-        const DesignResult &ju = results[i].of(LlcDesign::Jumanji);
-        std::printf("%-26s %12.3f %12.3f\n", points[i].label.c_str(),
-                    ju.batchSpeedup, ju.meanTailRatio);
-    }
-
-    note("* = the paper's defaults. Paper: results change very "
-         "little across parameter values.");
+    jumanji::setQuiet(true);
+    jumanji::bench::runSpecMain(
+        jumanji::bench::specs::fig09Sensitivity());
     return 0;
 }

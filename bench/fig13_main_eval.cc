@@ -10,128 +10,19 @@
  * LC apps; Jumanji and Jigsaw deliver double-digit batch speedups
  * while the S-NUCA designs deliver almost none.
  *
- * This is the heaviest bench, so it leans hardest on the driver: all
- * (load, LC group, mix) points go into one JobGraph and fan out over
- * JUMANJI_JOBS workers, with output byte-identical to the old
- * group-by-group serial sweeps.
+ * The whole figure is one ExperimentSpec (bench/specs.hh, mirrored
+ * by examples/scenarios/fig13_small.json): all (load, LC group, mix)
+ * points expand into one JobGraph and fan out over JUMANJI_JOBS
+ * workers, with output byte-identical to the old handwritten
+ * group-by-group sweeps.
  */
 
-#include "bench/bench_common.hh"
-
-using namespace jumanji;
-using namespace jumanji::bench;
-
-namespace {
-
-struct Group
-{
-    std::string label;
-    std::vector<std::string> lcNames;
-    LoadLevel load = LoadLevel::High;
-};
-
-void
-printGroup(const Group &group, const std::vector<MixResult> &results,
-           std::uint32_t mixes)
-{
-    std::printf("\n[%s load, LC=%s, %u mixes]\n", loadName(group.load),
-                group.label.c_str(), mixes);
-    std::printf("%-20s %12s %12s %12s %12s\n", "design",
-                "tail(mean)", "tail(worst)", "batchWS(gmean)",
-                "attackers");
-
-    std::vector<LlcDesign> all = {LlcDesign::Static};
-    for (LlcDesign d : mainDesigns()) all.push_back(d);
-
-    auto speedups = gmeanSpeedups(results);
-    for (LlcDesign d : all) {
-        // Tail ratios and vulnerability come straight from the stats
-        // registry dump each run carries ("sys.*" formulas).
-        double meanTail = 0.0, worstTail = 0.0, attackers = 0.0;
-        for (const auto &mix : results) {
-            const DesignResult &dr = mix.of(d);
-            meanTail += dr.run.stat("sys.tail.meanRatio");
-            worstTail = std::max(worstTail,
-                                 dr.run.stat("sys.tail.worstRatio"));
-            attackers += dr.run.stat("sys.attackersPerAccess");
-        }
-        meanTail /= static_cast<double>(results.size());
-        attackers /= static_cast<double>(results.size());
-        std::printf("%-20s %12.3f %12.3f %12.3f %12.3f\n",
-                    llcDesignName(d), meanTail, worstTail, speedups[d],
-                    attackers);
-    }
-}
-
-} // namespace
+#include "bench/specs.hh"
 
 int
 main()
 {
-    setQuiet(true);
-    header("Figure 13", "tail latency + batch speedup vs. Static, all "
-                        "LC apps, high/low load");
-    std::uint32_t mixes = ExperimentHarness::mixCountFromEnv(3);
-
-    ExperimentHarness harness(benchConfig());
-
-    // Calibrate every LC app up front, in parallel. The serial path
-    // would calibrate each name lazily inside its first group's
-    // sweep, with that sweep's m=0 config — which is the harness base
-    // config (all group sweeps derive the same per-mix seeds), so the
-    // values here are identical to the lazy ones.
-    {
-        std::vector<driver::CalibrationJob> plan;
-        for (const auto &name : allTailAppNames())
-            plan.push_back({name, harness.baseConfig()});
-        std::vector<LcCalibration> calibrations =
-            orchestrator().runCalibrations(plan);
-        for (std::size_t i = 0; i < plan.size(); i++)
-            harness.setCalibration(plan[i].lcName, calibrations[i]);
-    }
-
-    std::vector<Group> groups;
-    for (LoadLevel load : {LoadLevel::High, LoadLevel::Low}) {
-        for (const auto &lc : allTailAppNames())
-            groups.push_back({lc, {lc}, load});
-        groups.push_back({"Mixed", allTailAppNames(), load});
-    }
-
-    // One graph over every (group, mix) point: the whole figure fans
-    // out at once instead of draining the pool between groups.
-    driver::JobGraph graph;
-    for (const Group &group : groups) {
-        for (std::uint32_t m = 0; m < mixes; m++) {
-            driver::SweepJob job;
-            job.label = group.label + "/" + loadName(group.load) +
-                        "/mix" + std::to_string(m);
-            job.config = harness.baseConfig();
-            job.config.seed =
-                harness.baseConfig().seed + m * 1000003ull;
-            Rng mixRng(job.config.seed ^ 0x5eedull);
-            job.mix = makeMix(group.lcNames, 4, 4, mixRng);
-            job.designs = mainDesigns();
-            job.load = group.load;
-            job.selfCalibrate = false;
-            job.calibrations = harness.calibrationsFor(job.mix);
-            graph.add(std::move(job));
-        }
-    }
-    std::vector<MixResult> all = runJobs(graph);
-
-    std::size_t next = 0;
-    for (const Group &group : groups) {
-        std::vector<MixResult> results(
-            all.begin() + static_cast<std::ptrdiff_t>(next),
-            all.begin() + static_cast<std::ptrdiff_t>(next + mixes));
-        next += mixes;
-        printGroup(group, results, mixes);
-    }
-
-    note("tail = p95 latency / calibrated deadline (<=1 meets the "
-         "deadline); batchWS is gmean weighted speedup vs. Static. "
-         "Paper: Adaptive/VM-Part/Jumanji meet deadlines, Jigsaw "
-         "violates badly; Jumanji/Jigsaw speed up batch 11-18%, "
-         "S-NUCAs <= 4%.");
+    jumanji::setQuiet(true);
+    jumanji::bench::runSpecMain(jumanji::bench::specs::fig13Small());
     return 0;
 }

@@ -8,43 +8,19 @@
  * Paper shape: Jumanji is within ~3% of Insecure (the cost of the
  * security guarantee) and within ~2% of Ideal Batch (the cost of
  * the greedy LatCritPlacer).
+ *
+ * One design-table spec over both loads (bench/specs.hh), with
+ * calibrations shared across the whole grid exactly as the former
+ * shared-harness loop shared them.
  */
 
-#include "bench/bench_common.hh"
-
-using namespace jumanji;
-using namespace jumanji::bench;
+#include "bench/specs.hh"
 
 int
 main()
 {
-    setQuiet(true);
-    header("Figure 16", "Jumanji vs. Insecure vs. Ideal Batch "
-                        "(ablations of Jumanji's constraints)");
-    std::uint32_t mixes = ExperimentHarness::mixCountFromEnv(3);
-
-    ExperimentHarness harness(benchConfig());
-    std::vector<LlcDesign> designs = {LlcDesign::Jumanji,
-                                      LlcDesign::JumanjiInsecure,
-                                      LlcDesign::JumanjiIdealBatch};
-
-    for (LoadLevel load : {LoadLevel::High, LoadLevel::Low}) {
-        auto results =
-            harness.sweep(allTailAppNames(), mixes, designs, load);
-        auto speedups = gmeanSpeedups(results);
-        auto vuln = meanVulnerability(results);
-
-        std::printf("\n[%s load]\n", loadName(load));
-        std::printf("%-22s %12s %12s\n", "design", "batchWS",
-                    "attackers");
-        for (LlcDesign d : designs) {
-            std::printf("%-22s %12.3f %12.3f\n", llcDesignName(d),
-                        speedups[d], vuln[d]);
-        }
-    }
-
-    note("Paper: Jumanji 11-15%, Insecure 14-19%, Jumanji within 2% "
-         "of Ideal Batch on average — the security and greedy-"
-         "placement costs are small.");
+    jumanji::setQuiet(true);
+    jumanji::bench::runSpecMain(
+        jumanji::bench::specs::fig16IdealBatch());
     return 0;
 }

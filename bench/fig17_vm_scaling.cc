@@ -6,77 +6,19 @@
  * Paper shape: speedup degrades only mildly with more VMs (16% at
  * 1 VM to 13% at 12 VMs); bank isolation constrains placement more
  * as VMs multiply, but nearby placement suffices for most apps.
+ *
+ * Each VM count is a spec variant using the regroupVms knob
+ * (bench/specs.hh); every (VM count, mix) point self-calibrates, as
+ * the former fresh-harness-per-point loop did.
  */
 
-#include "bench/bench_common.hh"
-
-using namespace jumanji;
-using namespace jumanji::bench;
+#include "bench/specs.hh"
 
 int
 main()
 {
-    setQuiet(true);
-    header("Figure 17", "Jumanji batch speedup vs. number of VMs");
-    std::uint32_t mixes = ExperimentHarness::mixCountFromEnv(3);
-
-    SystemConfig cfg = benchConfig();
-
-    struct Config
-    {
-        std::uint32_t vms;
-        const char *label;
-    };
-    // The paper's six configurations from 1 VM (all apps trusted) to
-    // 12 VMs (one per LC app + one per pair of batch apps).
-    const std::vector<Config> configs = {Config{1, "1 VM (all apps)"},
-                                         Config{2, "2 x (2 LC + 8 B)"},
-                                         Config{4, "4 x (1 LC + 4 B)"},
-                                         Config{6, "6 VMs"},
-                                         Config{8, "8 VMs"},
-                                         Config{12, "12 VMs"}};
-
-    // One self-calibrating job per (VM count, mix): the serial loop
-    // built a fresh harness per point, so every point is independent.
-    driver::JobGraph graph;
-    for (const Config &c : configs) {
-        for (std::uint32_t m = 0; m < mixes; m++) {
-            SystemConfig mixCfg = cfg;
-            mixCfg.seed = cfg.seed + 1000003ull * m;
-            Rng rng(mixCfg.seed ^ 0x5eed);
-            WorkloadMix base = makeMix(allTailAppNames(), 4, 4, rng);
-
-            driver::SweepJob job;
-            job.label = std::string(c.label) + "/mix" +
-                        std::to_string(m);
-            job.config = mixCfg;
-            job.mix = regroupMix(base, c.vms);
-            job.designs = {LlcDesign::Jumanji};
-            job.load = LoadLevel::High;
-            graph.add(std::move(job));
-        }
-    }
-    std::vector<MixResult> all = runJobs(graph);
-
-    std::printf("%-22s %12s %12s %12s\n", "configuration", "batchWS",
-                "tail ratio", "attackers");
-    std::size_t next = 0;
-    for (const Config &c : configs) {
-        double ws = 0.0, tail = 0.0, attackers = 0.0;
-        for (std::uint32_t m = 0; m < mixes; m++) {
-            const DesignResult &ju =
-                all[next++].of(LlcDesign::Jumanji);
-            ws += ju.batchSpeedup;
-            tail += ju.meanTailRatio;
-            attackers += ju.run.attackersPerAccess;
-        }
-        double n = mixes;
-        std::printf("%-22s %12.3f %12.3f %12.3f\n", c.label, ws / n,
-                    tail / n, attackers / n);
-    }
-
-    note("Paper: gmean speedup 16% with one VM, 13% with twelve; no "
-         "degradation from 4 to 12 VMs; attackers stay 0 throughout "
-         "(isolation holds at every VM count).");
+    jumanji::setQuiet(true);
+    jumanji::bench::runSpecMain(
+        jumanji::bench::specs::fig17VmScaling());
     return 0;
 }

@@ -6,39 +6,19 @@
  * Paper shape: the slower the NoC, the more data placement matters —
  * speedup over Static grows from ~9% at 1-cycle routers to ~15% at
  * 3-cycle routers.
+ *
+ * Each router delay is a spec variant patching mesh.routerDelay
+ * (bench/specs.hh), with calibrations shared per variant exactly as
+ * the former one-harness-per-delay sweeps shared them.
  */
 
-#include "bench/bench_common.hh"
-
-using namespace jumanji;
-using namespace jumanji::bench;
+#include "bench/specs.hh"
 
 int
 main()
 {
-    setQuiet(true);
-    header("Figure 18", "Jumanji batch speedup vs. NoC router delay");
-    std::uint32_t mixes = ExperimentHarness::mixCountFromEnv(3);
-
-    std::printf("%-18s %12s %12s\n", "router delay", "batchWS",
-                "tail ratio");
-    for (Tick router : {1u, 2u, 3u}) {
-        SystemConfig cfg = benchConfig();
-        cfg.mesh.routerDelay = router;
-        ExperimentHarness harness(cfg);
-        auto results = sweep(harness, allTailAppNames(), mixes,
-                             {LlcDesign::Jumanji}, LoadLevel::High);
-        auto speedups = gmeanSpeedups(results);
-        double tail = 0.0;
-        for (const auto &mix : results)
-            tail += mix.of(LlcDesign::Jumanji).meanTailRatio;
-        tail /= static_cast<double>(results.size());
-        std::printf("%-18llu %12.3f %12.3f\n",
-                    static_cast<unsigned long long>(router),
-                    speedups[LlcDesign::Jumanji], tail);
-    }
-
-    note("Paper: speedup rises from 9% to 15% as routers go from 1 "
-         "to 3 cycles (2 cycles is the default elsewhere).");
+    jumanji::setQuiet(true);
+    jumanji::bench::runSpecMain(
+        jumanji::bench::specs::fig18NocSensitivity());
     return 0;
 }

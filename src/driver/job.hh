@@ -86,6 +86,13 @@ class JobGraph
 
     const SweepJob &job(JobId id) const { return jobs_[id]; }
 
+    /**
+     * Mutable access for graph builders that resolve job inputs in a
+     * second pass (the spec expander fills shared calibrations after
+     * all jobs exist). Not for use once the graph is running.
+     */
+    SweepJob &mutableJob(JobId id) { return jobs_[id]; }
+
     const std::vector<SweepJob> &jobs() const { return jobs_; }
 
   private:

@@ -1,0 +1,783 @@
+#include "src/driver/spec.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "src/sim/logging.hh"
+#include "src/workloads/mixes.hh"
+
+namespace jumanji {
+namespace driver {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+const std::vector<std::string> &
+columnKeys()
+{
+    static const std::vector<std::string> keys = {
+        "tailMean", "tailWorst", "batchWS", "batchWSMean",
+        "attackers"};
+    return keys;
+}
+
+/** Same strict-key walker as config_json.cc, for spec documents. */
+class ObjectReader
+{
+  public:
+    ObjectReader(const JsonValue &json, std::string prefix)
+        : json_(json), prefix_(std::move(prefix))
+    {
+        if (!json.isObject())
+            fatal((prefix_.empty() ? std::string("scenario")
+                                   : prefix_) +
+                  ": expected object, got " + json.kindName());
+        consumed_.resize(json.members().size(), false);
+    }
+
+    const JsonValue *
+    get(const std::string &key)
+    {
+        const auto &members = json_.members();
+        for (std::size_t i = 0; i < members.size(); i++) {
+            if (members[i].first == key) {
+                consumed_[i] = true;
+                return &members[i].second;
+            }
+        }
+        return nullptr;
+    }
+
+    std::string
+    path(const std::string &key) const
+    {
+        return prefix_.empty() ? key : prefix_ + "." + key;
+    }
+
+    void
+    finish() const
+    {
+        const auto &members = json_.members();
+        for (std::size_t i = 0; i < members.size(); i++)
+            if (!consumed_[i])
+                fatal(path(members[i].first) + ": unknown key");
+    }
+
+  private:
+    const JsonValue &json_;
+    std::string prefix_;
+    std::vector<bool> consumed_;
+};
+
+std::vector<std::string>
+lcNamesFromJson(const JsonValue &json, const std::string &path)
+{
+    if (json.isString()) {
+        if (json.asString(path) == "all") return allTailAppNames();
+        fatal(path + ": expected \"all\" or an array of LC app names");
+    }
+    if (!json.isArray())
+        fatal(path + ": expected \"all\" or an array of LC app names");
+    const std::vector<std::string> known = allTailAppNames();
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < json.items().size(); i++) {
+        std::string item = path + "[" + std::to_string(i) + "]";
+        std::string name = json.items()[i].asString(item);
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            fatal(item + ": unknown LC app \"" + name + "\"");
+        names.push_back(std::move(name));
+    }
+    if (names.empty()) fatal(path + ": must name at least one LC app");
+    return names;
+}
+
+SeedPolicy
+seedPolicyFromJson(const JsonValue &json)
+{
+    SeedPolicy seed;
+    ObjectReader r(json, "seed");
+    if (const JsonValue *v = r.get("fromEnv"))
+        seed.fromEnv = v->asBool(r.path("fromEnv"));
+    if (const JsonValue *v = r.get("fallback")) {
+        seed.fallback = v->asU64(r.path("fallback"));
+        if (seed.fallback == 0)
+            fatal("seed.fallback: must be >= 1 (0 is reserved as "
+                  "\"unset\")");
+    }
+    r.finish();
+    return seed;
+}
+
+MixPolicy
+mixPolicyFromJson(const JsonValue &json)
+{
+    MixPolicy mixes;
+    ObjectReader r(json, "mixes");
+    if (const JsonValue *v = r.get("count")) {
+        mixes.count = v->asU32(r.path("count"));
+        if (mixes.count == 0) fatal("mixes.count: must be >= 1");
+    }
+    if (const JsonValue *v = r.get("fromEnv"))
+        mixes.fromEnv = v->asBool(r.path("fromEnv"));
+    if (const JsonValue *v = r.get("vms")) {
+        mixes.vms = v->asU32(r.path("vms"));
+        if (mixes.vms == 0) fatal("mixes.vms: must be >= 1");
+    }
+    if (const JsonValue *v = r.get("batchPerVm")) {
+        mixes.batchPerVm = v->asU32(r.path("batchPerVm"));
+        if (mixes.batchPerVm > 64)
+            fatal("mixes.batchPerVm: must be <= 64");
+    }
+    if (const JsonValue *v = r.get("salt"))
+        mixes.salt = v->asBool(r.path("salt"));
+    r.finish();
+    return mixes;
+}
+
+SpecOutput
+outputFromJson(const JsonValue &json)
+{
+    SpecOutput out;
+    ObjectReader r(json, "output");
+    const JsonValue *title = r.get("title");
+    if (title == nullptr) fatal("output.title: missing required key");
+    out.title = title->asString("output.title");
+    if (const JsonValue *v = r.get("caption"))
+        out.caption = v->asString(r.path("caption"));
+    if (const JsonValue *v = r.get("note"))
+        out.note = v->asString(r.path("note"));
+    if (const JsonValue *v = r.get("layout")) {
+        out.layout = v->asString(r.path("layout"));
+        if (out.layout != "design-table" &&
+            out.layout != "variant-table")
+            fatal("output.layout: expected \"design-table\" or "
+                  "\"variant-table\", got \"" +
+                  out.layout + "\"");
+    }
+    if (const JsonValue *v = r.get("sectionLabel"))
+        out.sectionLabel = v->asString(r.path("sectionLabel"));
+    if (const JsonValue *v = r.get("labelHeader"))
+        out.labelHeader = v->asString(r.path("labelHeader"));
+    if (const JsonValue *v = r.get("labelWidth")) {
+        out.labelWidth = v->asU32(r.path("labelWidth"));
+        if (out.labelWidth == 0 || out.labelWidth > 128)
+            fatal("output.labelWidth: must be in [1, 128]");
+    }
+    if (const JsonValue *v = r.get("staticRow"))
+        out.staticRow = v->asBool(r.path("staticRow"));
+    const JsonValue *columns = r.get("columns");
+    if (columns == nullptr)
+        fatal("output.columns: missing required key");
+    if (!columns->isArray() || columns->items().empty())
+        fatal("output.columns: expected a non-empty array");
+    for (std::size_t i = 0; i < columns->items().size(); i++) {
+        std::string path = "output.columns[" + std::to_string(i) + "]";
+        ObjectReader cr(columns->items()[i], path);
+        SpecColumn col;
+        const JsonValue *key = cr.get("key");
+        if (key == nullptr) fatal(path + ".key: missing required key");
+        col.key = key->asString(path + ".key");
+        const auto &keys = columnKeys();
+        if (std::find(keys.begin(), keys.end(), col.key) == keys.end())
+            fatal(path + ".key: unknown column key \"" + col.key +
+                  "\" (tailMean|tailWorst|batchWS|batchWSMean|"
+                  "attackers)");
+        const JsonValue *header = cr.get("header");
+        col.header = header != nullptr
+                         ? header->asString(path + ".header")
+                         : col.key;
+        cr.finish();
+        out.columns.push_back(std::move(col));
+    }
+    r.finish();
+    return out;
+}
+
+/** Shape rules that span fields; fromJson and expandSpec both call. */
+void
+validateSpec(const ExperimentSpec &spec)
+{
+    if (spec.name.empty()) fatal("name: missing required key");
+    if (spec.designs.empty())
+        fatal("designs: must name at least one design");
+    if (spec.loads.empty())
+        fatal("loads: must name at least one load level");
+    if (spec.groups.empty())
+        fatal("groups: must contain at least one group");
+    if (spec.variants.empty())
+        fatal("variants: must contain at least one variant");
+    if (spec.output.layout == "design-table" &&
+        spec.variants.size() != 1)
+        fatal("output.layout: design-table requires exactly one "
+              "variant (got " +
+              std::to_string(spec.variants.size()) + ")");
+    if (spec.output.layout == "variant-table") {
+        if (spec.designs.size() != 1)
+            fatal("output.layout: variant-table requires exactly one "
+                  "design (got " +
+                  std::to_string(spec.designs.size()) + ")");
+        for (std::size_t i = 0; i < spec.variants.size(); i++)
+            if (spec.variants[i].label.empty())
+                fatal("variants[" + std::to_string(i) +
+                      "].label: variant-table rows need non-empty "
+                      "labels");
+        if (spec.output.staticRow)
+            fatal("output.staticRow: only applies to design-table");
+    }
+    if (spec.output.sectionLabel.empty() &&
+        (spec.loads.size() != 1 || spec.groups.size() != 1))
+        fatal("output.sectionLabel: required when the grid has more "
+              "than one (load, group) section");
+}
+
+std::string
+expandTemplate(const std::string &tmpl, const std::string &load,
+               const std::string &group, std::uint32_t mixes)
+{
+    std::string out;
+    for (std::size_t i = 0; i < tmpl.size();) {
+        if (tmpl[i] == '{') {
+            std::size_t end = tmpl.find('}', i);
+            if (end != std::string::npos) {
+                std::string key = tmpl.substr(i + 1, end - i - 1);
+                if (key == "load") {
+                    out += load;
+                    i = end + 1;
+                    continue;
+                }
+                if (key == "group") {
+                    out += group;
+                    i = end + 1;
+                    continue;
+                }
+                if (key == "mixes") {
+                    out += std::to_string(mixes);
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        out += tmpl[i++];
+    }
+    return out;
+}
+
+/** One rendered cell: the results of (variant, load, group). */
+std::vector<const MixResult *>
+cellResults(const ExperimentSpec &spec, const SpecRun &run,
+            std::size_t variant, std::size_t load, std::size_t group)
+{
+    std::vector<const MixResult *> cell;
+    for (std::uint32_t m = 0; m < run.plan.mixCount; m++)
+        cell.push_back(&run.results[run.plan.jobIndex(
+            variant, load, group, m, spec)]);
+    return cell;
+}
+
+double
+columnValue(const std::string &key,
+            const std::vector<const MixResult *> &cell, LlcDesign d)
+{
+    double n = static_cast<double>(cell.size());
+    if (key == "tailMean") {
+        double sum = 0.0;
+        for (const MixResult *mix : cell)
+            sum += mix->of(d).meanTailRatio;
+        return sum / n;
+    }
+    if (key == "tailWorst") {
+        double worst = 0.0;
+        for (const MixResult *mix : cell)
+            worst = std::max(worst,
+                             mix->of(d).run.stat("sys.tail.worstRatio"));
+        return worst;
+    }
+    if (key == "batchWS") {
+        std::vector<double> values;
+        for (const MixResult *mix : cell)
+            values.push_back(mix->of(d).batchSpeedup);
+        return gmean(values);
+    }
+    if (key == "batchWSMean") {
+        double sum = 0.0;
+        for (const MixResult *mix : cell)
+            sum += mix->of(d).batchSpeedup;
+        return sum / n;
+    }
+    if (key == "attackers") {
+        double sum = 0.0;
+        for (const MixResult *mix : cell)
+            sum += mix->of(d).run.stat("sys.attackersPerAccess");
+        return sum / n;
+    }
+    panic("unknown column key " + key);
+}
+
+void
+renderHeaderRow(std::string &out, const SpecOutput &output)
+{
+    appendf(out, "%-*s", static_cast<int>(output.labelWidth),
+            output.labelHeader.c_str());
+    for (const SpecColumn &col : output.columns)
+        appendf(out, " %12s", col.header.c_str());
+    out += '\n';
+}
+
+void
+renderRow(std::string &out, const SpecOutput &output,
+          const std::string &label,
+          const std::vector<const MixResult *> &cell, LlcDesign d)
+{
+    appendf(out, "%-*s", static_cast<int>(output.labelWidth),
+            label.c_str());
+    for (const SpecColumn &col : output.columns)
+        appendf(out, " %12.3f", columnValue(col.key, cell, d));
+    out += '\n';
+}
+
+} // namespace
+
+std::uint64_t
+seedFromEnv(std::uint64_t fallback)
+{
+    const char *env = std::getenv("JUMANJI_SEED");
+    if (env == nullptr) return fallback;
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(env, &end, 10);
+    if (v != 0 && end != nullptr && *end == '\0') return v;
+    // Warn once per process: a malformed seed must not silently run
+    // as the fallback and pose as a baseline with that seed.
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("JUMANJI_SEED=\"" + std::string(env) +
+             "\" is not a seed in [1, 2^64-1]; using fallback " +
+             std::to_string(fallback));
+    }
+    return fallback;
+}
+
+ExperimentSpec
+ExperimentSpec::fromJson(const JsonValue &json)
+{
+    ExperimentSpec spec;
+    ObjectReader r(json, "");
+
+    const JsonValue *name = r.get("name");
+    if (name == nullptr) fatal("name: missing required key");
+    spec.name = name->asString("name");
+
+    if (const JsonValue *v = r.get("preset")) {
+        spec.preset = v->asString("preset");
+        configPreset(spec.preset, "preset"); // validates the name
+    }
+    if (const JsonValue *v = r.get("overrides")) {
+        if (!v->isObject())
+            fatal("overrides: expected object, got " +
+                  std::string(v->kindName()));
+        spec.overrides = *v;
+    }
+    if (const JsonValue *v = r.get("seed"))
+        spec.seed = seedPolicyFromJson(*v);
+    if (const JsonValue *v = r.get("mixes"))
+        spec.mixes = mixPolicyFromJson(*v);
+
+    const JsonValue *designs = r.get("designs");
+    if (designs == nullptr) fatal("designs: missing required key");
+    if (!designs->isArray())
+        fatal("designs: expected array, got " +
+              std::string(designs->kindName()));
+    for (std::size_t i = 0; i < designs->items().size(); i++) {
+        std::string path = "designs[" + std::to_string(i) + "]";
+        spec.designs.push_back(
+            llcDesignFromName(designs->items()[i].asString(path), path));
+    }
+
+    if (const JsonValue *v = r.get("loads")) {
+        if (!v->isArray())
+            fatal("loads: expected array, got " +
+                  std::string(v->kindName()));
+        spec.loads.clear();
+        for (std::size_t i = 0; i < v->items().size(); i++) {
+            std::string path = "loads[" + std::to_string(i) + "]";
+            spec.loads.push_back(
+                loadLevelFromName(v->items()[i].asString(path), path));
+        }
+    } else {
+        spec.loads = {LoadLevel::High};
+    }
+
+    if (const JsonValue *v = r.get("groups")) {
+        if (!v->isArray())
+            fatal("groups: expected array, got " +
+                  std::string(v->kindName()));
+        for (std::size_t i = 0; i < v->items().size(); i++) {
+            std::string path = "groups[" + std::to_string(i) + "]";
+            ObjectReader gr(v->items()[i], path);
+            SpecGroup group;
+            const JsonValue *label = gr.get("label");
+            if (label == nullptr)
+                fatal(path + ".label: missing required key");
+            group.label = label->asString(path + ".label");
+            const JsonValue *lc = gr.get("lc");
+            if (lc == nullptr)
+                fatal(path + ".lc: missing required key");
+            group.lcNames = lcNamesFromJson(*lc, path + ".lc");
+            gr.finish();
+            spec.groups.push_back(std::move(group));
+        }
+    } else {
+        spec.groups = {{"Mixed", allTailAppNames()}};
+    }
+
+    if (const JsonValue *v = r.get("variants")) {
+        if (!v->isArray())
+            fatal("variants: expected array, got " +
+                  std::string(v->kindName()));
+        spec.variants.clear();
+        for (std::size_t i = 0; i < v->items().size(); i++) {
+            std::string path = "variants[" + std::to_string(i) + "]";
+            ObjectReader vr(v->items()[i], path);
+            SpecVariant variant;
+            const JsonValue *label = vr.get("label");
+            if (label == nullptr)
+                fatal(path + ".label: missing required key");
+            variant.label = label->asString(path + ".label");
+            if (const JsonValue *ov = vr.get("overrides")) {
+                if (!ov->isObject())
+                    fatal(path + ".overrides: expected object, got " +
+                          std::string(ov->kindName()));
+                variant.overrides = *ov;
+            }
+            if (const JsonValue *rg = vr.get("regroupVms")) {
+                variant.regroupVms = rg->asU32(path + ".regroupVms");
+                if (variant.regroupVms == 0)
+                    fatal(path + ".regroupVms: must be >= 1 when "
+                          "present");
+            }
+            vr.finish();
+            spec.variants.push_back(std::move(variant));
+        }
+    } else {
+        spec.variants = {SpecVariant{}};
+    }
+
+    if (const JsonValue *v = r.get("calibration")) {
+        std::string mode = v->asString("calibration");
+        if (mode == "shared") {
+            spec.calibration = CalibrationMode::Shared;
+        } else if (mode == "perJob") {
+            spec.calibration = CalibrationMode::PerJob;
+        } else {
+            fatal("calibration: expected \"shared\" or \"perJob\", "
+                  "got \"" +
+                  mode + "\"");
+        }
+    }
+
+    const JsonValue *output = r.get("output");
+    if (output == nullptr) fatal("output: missing required key");
+    spec.output = outputFromJson(*output);
+
+    r.finish();
+    validateSpec(spec);
+    return spec;
+}
+
+JsonValue
+ExperimentSpec::toJson() const
+{
+    JsonValue root = JsonValue::makeObject();
+    root.set("name", JsonValue::makeString(name));
+    root.set("preset", JsonValue::makeString(preset));
+    root.set("overrides", overrides.isNull() ? JsonValue::makeObject()
+                                             : overrides);
+
+    JsonValue jSeed = JsonValue::makeObject();
+    jSeed.set("fromEnv", JsonValue::makeBool(seed.fromEnv));
+    jSeed.set("fallback", JsonValue::makeU64(seed.fallback));
+    root.set("seed", std::move(jSeed));
+
+    JsonValue jMixes = JsonValue::makeObject();
+    jMixes.set("count", JsonValue::makeU64(mixes.count));
+    jMixes.set("fromEnv", JsonValue::makeBool(mixes.fromEnv));
+    jMixes.set("vms", JsonValue::makeU64(mixes.vms));
+    jMixes.set("batchPerVm", JsonValue::makeU64(mixes.batchPerVm));
+    jMixes.set("salt", JsonValue::makeBool(mixes.salt));
+    root.set("mixes", std::move(jMixes));
+
+    JsonValue jDesigns = JsonValue::makeArray();
+    for (LlcDesign d : designs)
+        jDesigns.push(JsonValue::makeString(llcDesignName(d)));
+    root.set("designs", std::move(jDesigns));
+
+    JsonValue jLoads = JsonValue::makeArray();
+    for (LoadLevel l : loads)
+        jLoads.push(JsonValue::makeString(loadName(l)));
+    root.set("loads", std::move(jLoads));
+
+    JsonValue jGroups = JsonValue::makeArray();
+    for (const SpecGroup &group : groups) {
+        JsonValue jGroup = JsonValue::makeObject();
+        jGroup.set("label", JsonValue::makeString(group.label));
+        JsonValue jLc = JsonValue::makeArray();
+        for (const std::string &lc : group.lcNames)
+            jLc.push(JsonValue::makeString(lc));
+        jGroup.set("lc", std::move(jLc));
+        jGroups.push(std::move(jGroup));
+    }
+    root.set("groups", std::move(jGroups));
+
+    JsonValue jVariants = JsonValue::makeArray();
+    for (const SpecVariant &variant : variants) {
+        JsonValue jVariant = JsonValue::makeObject();
+        jVariant.set("label", JsonValue::makeString(variant.label));
+        jVariant.set("overrides", variant.overrides.isNull()
+                                      ? JsonValue::makeObject()
+                                      : variant.overrides);
+        if (variant.regroupVms > 0)
+            jVariant.set("regroupVms",
+                         JsonValue::makeU64(variant.regroupVms));
+        jVariants.push(std::move(jVariant));
+    }
+    root.set("variants", std::move(jVariants));
+
+    root.set("calibration",
+             JsonValue::makeString(calibration ==
+                                           CalibrationMode::Shared
+                                       ? "shared"
+                                       : "perJob"));
+
+    JsonValue jOutput = JsonValue::makeObject();
+    jOutput.set("title", JsonValue::makeString(output.title));
+    jOutput.set("caption", JsonValue::makeString(output.caption));
+    jOutput.set("note", JsonValue::makeString(output.note));
+    jOutput.set("layout", JsonValue::makeString(output.layout));
+    jOutput.set("sectionLabel",
+                JsonValue::makeString(output.sectionLabel));
+    jOutput.set("labelHeader",
+                JsonValue::makeString(output.labelHeader));
+    jOutput.set("labelWidth", JsonValue::makeU64(output.labelWidth));
+    jOutput.set("staticRow", JsonValue::makeBool(output.staticRow));
+    JsonValue jColumns = JsonValue::makeArray();
+    for (const SpecColumn &col : output.columns) {
+        JsonValue jCol = JsonValue::makeObject();
+        jCol.set("key", JsonValue::makeString(col.key));
+        jCol.set("header", JsonValue::makeString(col.header));
+        jColumns.push(std::move(jCol));
+    }
+    jOutput.set("columns", std::move(jColumns));
+    root.set("output", std::move(jOutput));
+    return root;
+}
+
+SpecPlan
+expandSpec(const ExperimentSpec &spec)
+{
+    validateSpec(spec);
+
+    SpecPlan plan;
+    plan.base = configPreset(spec.preset, "preset");
+    if (!spec.overrides.isNull())
+        applyConfigJson(plan.base, spec.overrides);
+    // The seed policy is applied after the overrides: a scenario's
+    // "seed" override is a fixed value, the policy is the env hook.
+    plan.base.seed = spec.seed.fromEnv ? seedFromEnv(spec.seed.fallback)
+                                       : spec.seed.fallback;
+    validateConfig(plan.base);
+
+    for (std::size_t v = 0; v < spec.variants.size(); v++) {
+        SystemConfig cfg = plan.base;
+        if (!spec.variants[v].overrides.isNull()) {
+            try {
+                applyConfigJson(cfg, spec.variants[v].overrides);
+            } catch (const FatalError &e) {
+                fatal("variants[" + std::to_string(v) +
+                      "].overrides." + e.what());
+            }
+        }
+        validateConfig(cfg);
+        plan.variantConfigs.push_back(std::move(cfg));
+    }
+
+    plan.mixCount =
+        spec.mixes.fromEnv
+            ? ExperimentHarness::mixCountFromEnv(spec.mixes.count)
+            : spec.mixes.count;
+
+    // Expansion order contract: variants → loads → groups → mixes.
+    // Per-mix seed derivation and the optional 0x5eed mix-RNG salt
+    // replicate the handwritten sweeps exactly (see file comment in
+    // spec.hh). Shared calibrations are planned in the same pass, in
+    // lazy first-seen order per variant — each LC app paired with the
+    // config of the first job whose mix contains it, which is what
+    // the serial harness's lazy calibrationFor would have used.
+    std::vector<std::set<std::string>> planned(spec.variants.size());
+    for (std::size_t v = 0; v < spec.variants.size(); v++) {
+        const SystemConfig &variantCfg = plan.variantConfigs[v];
+        for (std::size_t l = 0; l < spec.loads.size(); l++) {
+            for (std::size_t g = 0; g < spec.groups.size(); g++) {
+                const SpecGroup &group = spec.groups[g];
+                for (std::uint32_t m = 0; m < plan.mixCount; m++) {
+                    SweepJob job;
+                    job.label = (spec.variants[v].label.empty()
+                                     ? spec.name
+                                     : spec.variants[v].label) +
+                                "/" + loadName(spec.loads[l]) + "/" +
+                                group.label + "/mix" +
+                                std::to_string(m);
+                    job.config = variantCfg;
+                    job.config.seed =
+                        variantCfg.seed + m * 1000003ull;
+                    Rng mixRng(job.config.seed ^
+                               (spec.mixes.salt ? 0x5eedull : 0ull));
+                    job.mix =
+                        makeMix(group.lcNames, spec.mixes.vms,
+                                spec.mixes.batchPerVm, mixRng);
+                    if (spec.variants[v].regroupVms > 0)
+                        job.mix = regroupMix(
+                            job.mix, spec.variants[v].regroupVms);
+                    job.designs = spec.designs;
+                    job.load = spec.loads[l];
+                    job.selfCalibrate =
+                        spec.calibration == CalibrationMode::PerJob;
+                    if (spec.calibration == CalibrationMode::Shared)
+                        for (const VmSpec &vm : job.mix.vms)
+                            for (const std::string &lc : vm.lcApps)
+                                if (planned[v].insert(lc).second)
+                                    plan.calibrationPlan.push_back(
+                                        {lc, job.config});
+                    plan.graph.add(std::move(job));
+                }
+            }
+        }
+    }
+    return plan;
+}
+
+SpecRun
+runSpec(const ExperimentSpec &spec, Orchestrator &orchestrator)
+{
+    SpecRun run;
+    run.plan = expandSpec(spec);
+
+    if (spec.calibration == CalibrationMode::Shared) {
+        std::vector<LcCalibration> calibrations =
+            orchestrator.runCalibrations(run.plan.calibrationPlan);
+        // Calibrations are per (variant, name): each variant's config
+        // may differ, so its apps are calibrated separately (exactly
+        // as the per-variant harnesses of the handwritten benches
+        // did). Walking the jobs in order and consuming plan entries
+        // at each first-seen (variant, name) replays the expansion's
+        // insertion order, so `next` stays in lockstep with the plan.
+        std::size_t jobsPerVariant = spec.loads.size() *
+                                     spec.groups.size() *
+                                     run.plan.mixCount;
+        std::vector<LcCalibrationMap> byVariant(spec.variants.size());
+        std::size_t next = 0;
+        for (JobId id = 0; id < run.plan.graph.size(); id++) {
+            std::size_t v = id / jobsPerVariant;
+            SweepJob &job = run.plan.graph.mutableJob(id);
+            for (const VmSpec &vm : job.mix.vms) {
+                for (const std::string &lc : vm.lcApps) {
+                    if (byVariant[v].find(lc) == byVariant[v].end()) {
+                        if (next >=
+                                run.plan.calibrationPlan.size() ||
+                            run.plan.calibrationPlan[next].lcName !=
+                                lc)
+                            panic("calibration plan out of step at " +
+                                  job.label + "/" + lc);
+                        byVariant[v][lc] = calibrations[next++];
+                    }
+                    job.calibrations[lc] = byVariant[v][lc];
+                }
+            }
+        }
+    }
+
+    std::vector<JobOutcome> outcomes =
+        orchestrator.run(run.plan.graph);
+    run.results.reserve(outcomes.size());
+    for (JobId id = 0; id < outcomes.size(); id++) {
+        if (!outcomes[id].ok)
+            fatal("job " + run.plan.graph.job(id).label +
+                  " failed: " + outcomes[id].error);
+        run.results.push_back(std::move(outcomes[id].result));
+    }
+    return run;
+}
+
+std::string
+renderSpecTable(const ExperimentSpec &spec, const SpecRun &run)
+{
+    const SpecOutput &output = spec.output;
+    std::string out;
+
+    for (std::size_t l = 0; l < spec.loads.size(); l++) {
+        for (std::size_t g = 0; g < spec.groups.size(); g++) {
+            if (!output.sectionLabel.empty()) {
+                out += '\n';
+                out += expandTemplate(output.sectionLabel,
+                                      loadName(spec.loads[l]),
+                                      spec.groups[g].label,
+                                      run.plan.mixCount);
+                out += '\n';
+            }
+            renderHeaderRow(out, output);
+
+            if (output.layout == "design-table") {
+                std::vector<const MixResult *> cell =
+                    cellResults(spec, run, 0, l, g);
+                std::vector<LlcDesign> rows;
+                if (output.staticRow)
+                    rows.push_back(LlcDesign::Static);
+                for (LlcDesign d : spec.designs) rows.push_back(d);
+                for (LlcDesign d : rows)
+                    renderRow(out, output, llcDesignName(d), cell, d);
+            } else {
+                for (std::size_t v = 0; v < spec.variants.size();
+                     v++) {
+                    std::vector<const MixResult *> cell =
+                        cellResults(spec, run, v, l, g);
+                    renderRow(out, output, spec.variants[v].label,
+                              cell, spec.designs[0]);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+renderSpec(const ExperimentSpec &spec, const SpecRun &run)
+{
+    std::string out;
+    const std::string rule(58, '=');
+    out += rule + "\n";
+    out += spec.output.title + " — " + spec.output.caption + "\n";
+    out += rule + "\n";
+    out += renderSpecTable(spec, run);
+    if (!spec.output.note.empty())
+        out += "note: " + spec.output.note + "\n";
+    return out;
+}
+
+} // namespace driver
+} // namespace jumanji

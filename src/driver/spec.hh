@@ -1,0 +1,255 @@
+/**
+ * @file
+ * ExperimentSpec: the declarative scenario layer (docs/INTERNALS.md
+ * §12). A spec is a *value* describing a whole experiment grid —
+ * preset + config overrides, variant list, design list, load levels,
+ * LC-app groups, mix policy, seed policy, and an output descriptor —
+ * that expands deterministically into the driver's JobGraph. Because
+ * expansion bottoms out in SweepJobs, every spec-driven run inherits
+ * the orchestrator's guarantees for free: JUMANJI_JOBS-parallel
+ * execution with byte-identical output, the content-addressed result
+ * cache, and submission-order merging.
+ *
+ * The expansion replicates the handwritten bench loops *exactly*
+ * (per-mix seed = base.seed + m * 1000003, mix RNG optionally salted
+ * with 0x5eed, lazy first-seen calibration order), so a bench
+ * rewritten as a spec produces byte-identical stdout — proven by the
+ * golden diffs in tests/test_spec.cc and CI's scenario job.
+ */
+
+#ifndef JUMANJI_DRIVER_SPEC_HH
+#define JUMANJI_DRIVER_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/driver/orchestrator.hh"
+#include "src/sim/json.hh"
+#include "src/system/config.hh"
+
+namespace jumanji {
+namespace driver {
+
+/**
+ * Base-seed policy. With fromEnv, JUMANJI_SEED overrides the
+ * fallback — parsed by driver::seedFromEnv, which warns (once) on
+ * values it must ignore instead of silently running the wrong seed.
+ */
+struct SeedPolicy
+{
+    bool fromEnv = true;
+    std::uint64_t fallback = 1;
+};
+
+/**
+ * How workload mixes are generated: @p count random 4-LC-VM mixes
+ * (JUMANJI_MIXES overrides when fromEnv), each built by
+ * makeMix(group.lc, vms, batchPerVm, Rng(seed [^ 0x5eed])). The salt
+ * matches the sweep-style benches (fig13/17/18); unsalted matches
+ * the single-mix case studies (fig09, ablations), whose mix RNG is
+ * seeded with the raw config seed.
+ */
+struct MixPolicy
+{
+    std::uint32_t count = 3;
+    bool fromEnv = true;
+    std::uint32_t vms = 4;
+    std::uint32_t batchPerVm = 4;
+    bool salt = true;
+};
+
+/** One LC-app selection ("xapian", or "Mixed" = all five). */
+struct SpecGroup
+{
+    std::string label;
+    std::vector<std::string> lcNames;
+};
+
+/**
+ * One experiment variant: a labelled config patch (same schema as
+ * the top-level overrides) applied on top of the resolved base
+ * config, plus the Fig. 17 VM-regrouping knob. The default spec has
+ * a single anonymous variant (the base config itself).
+ */
+struct SpecVariant
+{
+    std::string label;
+    /** Config patch (JSON object; Null = no change). */
+    JsonValue overrides;
+    /** When > 0, regroupMix(mix, regroupVms) after generation. */
+    std::uint32_t regroupVms = 0;
+};
+
+/**
+ * LC calibration policy.
+ *  - Shared: per variant, each LC app is calibrated once with the
+ *    config of the first job whose mix contains it (the serial
+ *    harness's lazy order, as parallelSweep replicates), and jobs
+ *    carry the calibrations (selfCalibrate = false). Matches the
+ *    shared-harness benches: fig13, fig16, fig18.
+ *  - PerJob: every job calibrates itself from its own config.
+ *    Matches the fresh-harness-per-point benches: fig09, fig17, the
+ *    ablations.
+ */
+enum class CalibrationMode
+{
+    Shared,
+    PerJob,
+};
+
+/** One output column: an aggregate key plus its printed header. */
+struct SpecColumn
+{
+    /**
+     * Aggregate over a cell's mixes:
+     *  "tailMean"    mean of per-design meanTailRatio
+     *  "tailWorst"   max of stat("sys.tail.worstRatio")
+     *  "batchWS"     gmean of batch weighted speedup (gmeanSpeedups)
+     *  "batchWSMean" arithmetic mean of batch speedup (fig17)
+     *  "attackers"   mean of stat("sys.attackersPerAccess")
+     */
+    std::string key;
+    std::string header;
+};
+
+/**
+ * How the grid is rendered. Two layouts:
+ *  - "design-table": one section per (load, group); rows are the
+ *    designs (optionally preceded by the Static baseline row).
+ *    Requires exactly one variant. (fig13, fig16)
+ *  - "variant-table": one section per (load, group); rows are the
+ *    variants. Requires exactly one design. (fig09, fig17, fig18,
+ *    ablations, epoch_load_grid)
+ */
+struct SpecOutput
+{
+    std::string title;
+    std::string caption;
+    /** Trailing "note: ..." line; empty = none. */
+    std::string note;
+    std::string layout = "design-table";
+    /**
+     * Section heading template; "{load}", "{group}", "{mixes}" and
+     * "{variant}" expand per section. Empty = single-section output
+     * with no heading line (requires one load and one group).
+     */
+    std::string sectionLabel;
+    /** First-column header ("design", "parameters", ...). */
+    std::string labelHeader = "design";
+    std::uint32_t labelWidth = 20;
+    /** design-table: prepend the Static normalization baseline row. */
+    bool staticRow = false;
+    std::vector<SpecColumn> columns;
+};
+
+/** The declarative experiment description. */
+struct ExperimentSpec
+{
+    std::string name;
+    /** Base preset: "paperDefault" | "benchScaled" | "testTiny". */
+    std::string preset = "benchScaled";
+    /** Config patch applied to the preset (JSON object; Null = none). */
+    JsonValue overrides;
+    SeedPolicy seed;
+    MixPolicy mixes;
+    std::vector<LlcDesign> designs;
+    std::vector<LoadLevel> loads = {LoadLevel::High};
+    std::vector<SpecGroup> groups;
+    std::vector<SpecVariant> variants = {SpecVariant{}};
+    CalibrationMode calibration = CalibrationMode::Shared;
+    SpecOutput output;
+
+    /**
+     * Parses and validates a scenario document. Throws FatalError
+     * with a "field: reason" diagnostic (unknown keys, bad enum
+     * names, layout/shape mismatches) — never a silent default.
+     */
+    static ExperimentSpec fromJson(const JsonValue &json);
+
+    /**
+     * Canonical serialization: every field explicit, so
+     * fromJson(x).toJson() is a normal form — two specs are
+     * equivalent iff their toJson dumps are equal (tests compare the
+     * C++ builders in bench/specs.hh against examples/scenarios/
+     * this way).
+     */
+    JsonValue toJson() const;
+};
+
+/**
+ * The fully expanded grid: resolved configs, mixes and jobs in the
+ * deterministic expansion order variants → loads → groups → mixes
+ * (jobIndex gives the flattening). Calibration requests are listed
+ * for CalibrationMode::Shared; the jobs then expect their
+ * calibrations to be filled in before running (runSpec does).
+ */
+struct SpecPlan
+{
+    /** Preset + overrides + seed policy applied. */
+    SystemConfig base;
+    /** base + each variant's overrides, revalidated. */
+    std::vector<SystemConfig> variantConfigs;
+    /** Mix count after the env override. */
+    std::uint32_t mixCount = 0;
+    JobGraph graph;
+    /** Shared-mode calibration plan (lazy first-seen order). */
+    std::vector<CalibrationJob> calibrationPlan;
+
+    std::size_t
+    jobIndex(std::size_t variant, std::size_t load, std::size_t group,
+             std::size_t mix, const ExperimentSpec &spec) const
+    {
+        return ((variant * spec.loads.size() + load) *
+                    spec.groups.size() +
+                group) *
+                   mixCount +
+               mix;
+    }
+};
+
+/** Expands @p spec without running anything (validation, tests). */
+SpecPlan expandSpec(const ExperimentSpec &spec);
+
+/** A finished spec run: the plan plus results in job order. */
+struct SpecRun
+{
+    SpecPlan plan;
+    std::vector<MixResult> results;
+};
+
+/**
+ * Expands @p spec, resolves shared calibrations through
+ * @p orchestrator, runs the JobGraph, and returns results in job
+ * order. Throws FatalError if any job fails — a figure with silently
+ * missing points would be worse than no figure.
+ */
+SpecRun runSpec(const ExperimentSpec &spec, Orchestrator &orchestrator);
+
+/**
+ * Renders the result table(s) — the section headings, column
+ * headers, and "%12.3f" value rows, byte-identical to the
+ * handwritten benches — as a string (src/ routes output through
+ * return values, not stdout; callers print it). Does not include
+ * the banner or note; renderSpec does.
+ */
+std::string renderSpecTable(const ExperimentSpec &spec,
+                            const SpecRun &run);
+
+/** Full report: banner + renderSpecTable + optional note line. */
+std::string renderSpec(const ExperimentSpec &spec, const SpecRun &run);
+
+/**
+ * JUMANJI_SEED override, else @p fallback. Accepted range is
+ * [1, 2^64-1]: the full uint64 range except 0, which is reserved as
+ * "unset" (and strtoull's error value). A set-but-ignored value —
+ * empty, unparseable, trailing junk, or 0 — warns once per process
+ * via src/sim/logging and falls back, so a typo'd seed cannot
+ * silently masquerade as a clean baseline run.
+ */
+std::uint64_t seedFromEnv(std::uint64_t fallback = 1);
+
+} // namespace driver
+} // namespace jumanji
+
+#endif // JUMANJI_DRIVER_SPEC_HH

@@ -28,6 +28,7 @@
 namespace jumanji {
 
 class Tracer;
+class JsonValue;
 
 /** Load levels from Table III (fraction of service capacity). */
 enum class LoadLevel
@@ -150,7 +151,61 @@ struct SystemConfig
 
     /** Derived placement geometry. */
     PlacementGeometry placementGeometry() const;
+
+    // ---- Serialization (docs/INTERNALS.md §12) ----
+
+    /**
+     * Serializes every result-affecting field (everything
+     * foldConfig folds) as a JSON object, nested by parameter block
+     * (llc / mesh / mem / umon / controller + top-level scalars).
+     * Observability handles (tracer, traceLabel) are not data and
+     * are excluded; timelineStats is included.
+     */
+    JsonValue toJson() const;
+
+    /**
+     * Strict inverse of toJson: default-constructed config +
+     * applyConfigJson + validateConfig. Round-tripping is identity
+     * under the foldConfig fingerprint. Throws FatalError with a
+     * "field: reason" diagnostic on unknown keys, type mismatches,
+     * out-of-range values, or inconsistent geometry.
+     */
+    static SystemConfig fromJson(const JsonValue &json);
 };
+
+/**
+ * Applies a (possibly partial) JSON object onto @p cfg: every key
+ * present is validated (type + range) and assigned; unknown keys are
+ * fatal. This is the "overrides" half of the scenario layer — a
+ * preset plus a patch. Callers compose with validateConfig for the
+ * cross-field rules.
+ */
+void applyConfigJson(SystemConfig &cfg, const JsonValue &json);
+
+/**
+ * Cross-field validation: bank count must equal mesh tiles, the
+ * controller's thresholds must be ordered
+ * (lowFrac < highFrac < panicFrac), and the measurement windows must
+ * be non-degenerate. Throws FatalError ("field: reason") on the
+ * first violation.
+ */
+void validateConfig(const SystemConfig &cfg);
+
+/**
+ * Named preset lookup for scenario files: "paperDefault" |
+ * "benchScaled" | "testTiny". @p path labels the diagnostic on an
+ * unknown name.
+ */
+SystemConfig configPreset(const std::string &name,
+                          const std::string &path = "preset");
+
+/** Parses an llcDesignName() string; fatal("<path>: ...") otherwise. */
+LlcDesign llcDesignFromName(const std::string &name,
+                            const std::string &path);
+
+/** Parses a loadName() string; fatal("<path>: ...") otherwise. */
+LoadLevel loadLevelFromName(const std::string &name,
+                            const std::string &path);
 
 class Fingerprint;
 

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Scenario-layer tests: config JSON round-trips under the foldConfig
+ * fingerprint, schema violations fail with precise "field: reason"
+ * diagnostics, the C++ spec builders in bench/specs.hh and the
+ * shipped examples/scenarios/ files are the same specs, expansion
+ * order is stable, and a spec-driven run is byte-identical — results
+ * *and* rendered table — to the handwritten sweep it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/specs.hh"
+#include "src/driver/orchestrator.hh"
+#include "src/driver/spec.hh"
+#include "src/sim/fingerprint.hh"
+#include "src/sim/json.hh"
+#include "src/sim/logging.hh"
+#include "src/system/config.hh"
+#include "src/system/harness.hh"
+
+namespace jumanji {
+namespace {
+
+using driver::CalibrationMode;
+using driver::ExperimentSpec;
+using driver::expandSpec;
+using driver::SpecColumn;
+using driver::SpecGroup;
+using driver::SpecPlan;
+using driver::SpecRun;
+
+std::uint64_t
+configFingerprint(const SystemConfig &cfg)
+{
+    Fingerprint fp;
+    foldConfig(fp, cfg);
+    return fp.value();
+}
+
+/** what() of the FatalError thrown by @p fn (fails if none). */
+template <typename Fn>
+std::string
+fatalMessage(Fn &&fn)
+{
+    try {
+        fn();
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected FatalError";
+    return "";
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+TEST(ConfigJson, RoundTripPreservesTheFoldConfigFingerprint)
+{
+    std::vector<SystemConfig> configs = {SystemConfig::paperDefault(),
+                                         SystemConfig::benchScaled(),
+                                         SystemConfig::testTiny()};
+    // A config with every kind of non-default: seed, ticks, doubles,
+    // bools, and the timeline selector list.
+    SystemConfig mutated = SystemConfig::benchScaled();
+    mutated.seed = 77;
+    mutated.epochTicks = 123456;
+    mutated.measureTicks = 9876543;
+    mutated.controller.percentile = 99.0;
+    mutated.hullCurves = false;
+    mutated.timelineStats = {"sys.tail.*", "llc.*"};
+    configs.push_back(mutated);
+
+    for (const SystemConfig &cfg : configs) {
+        JsonValue json = cfg.toJson();
+        SystemConfig back = SystemConfig::fromJson(json);
+        EXPECT_EQ(configFingerprint(back), configFingerprint(cfg));
+        // The serialization itself is a normal form too.
+        EXPECT_EQ(back.toJson().dump(2), json.dump(2));
+    }
+}
+
+TEST(ConfigJson, UnknownKeysAreFatalWithTheirFullPath)
+{
+    EXPECT_EQ(fatalMessage([] {
+                  SystemConfig::fromJson(JsonValue::parse(
+                      "{\"llc\": {\"wayz\": 8}}", "test"));
+              }),
+              "fatal: llc.wayz: unknown key");
+    EXPECT_EQ(fatalMessage([] {
+                  SystemConfig::fromJson(
+                      JsonValue::parse("{\"bogus\": 1}", "test"));
+              }),
+              "fatal: bogus: unknown key");
+}
+
+TEST(ConfigJson, OutOfRangeValuesNameTheirBound)
+{
+    EXPECT_EQ(fatalMessage([] {
+                  SystemConfig::fromJson(JsonValue::parse(
+                      "{\"llc\": {\"ways\": 100}}", "test"));
+              }),
+              "fatal: llc.ways: must be <= 64");
+    EXPECT_EQ(fatalMessage([] {
+                  SystemConfig::fromJson(
+                      JsonValue::parse("{\"seed\": 0}", "test"));
+              }),
+              "fatal: seed: must be >= 1");
+}
+
+TEST(ConfigJson, GeometryMismatchNamesBothSides)
+{
+    // Default mesh is 5x4 = 20 tiles; 16 banks cannot tile it.
+    EXPECT_EQ(fatalMessage([] {
+                  SystemConfig::fromJson(JsonValue::parse(
+                      "{\"llc\": {\"banks\": 16}}", "test"));
+              }),
+              "fatal: llc.banks: 16 banks but mesh is 5x4 = 20 tiles "
+              "(banks must equal mesh tiles)");
+}
+
+TEST(ConfigJson, ControllerThresholdOrderingIsValidated)
+{
+    // lowFrac raised past the default highFrac = 0.95.
+    std::string msg = fatalMessage([] {
+        SystemConfig::fromJson(JsonValue::parse(
+            "{\"controller\": {\"lowFrac\": 0.96}}", "test"));
+    });
+    EXPECT_EQ(msg.find("fatal: controller.lowFrac: must be < "
+                       "controller.highFrac"),
+              0u)
+        << msg;
+}
+
+TEST(Spec, BuildersMatchTheShippedScenarioFiles)
+{
+    const std::string root = JUMANJI_SOURCE_DIR;
+    struct Pair
+    {
+        ExperimentSpec builder;
+        std::string file;
+    };
+    std::vector<Pair> pairs = {
+        {bench::specs::fig13Small(),
+         root + "/examples/scenarios/fig13_small.json"},
+        {bench::specs::epochLoadGrid(),
+         root + "/examples/scenarios/epoch_load_grid.json"},
+    };
+    for (const Pair &p : pairs) {
+        ExperimentSpec fromFile = ExperimentSpec::fromJson(
+            JsonValue::parse(readFile(p.file), p.file));
+        // toJson is canonical: equal dumps == equivalent specs.
+        EXPECT_EQ(fromFile.toJson().dump(2), p.builder.toJson().dump(2))
+            << p.file << " drifted from its bench/specs.hh builder";
+    }
+}
+
+TEST(Spec, JsonRoundTripIsANormalForm)
+{
+    std::vector<ExperimentSpec> specs = {
+        bench::specs::fig13Small(),    bench::specs::fig09Sensitivity(),
+        bench::specs::fig16IdealBatch(), bench::specs::fig17VmScaling(),
+        bench::specs::fig18NocSensitivity(),
+        bench::specs::ablationVariants(), bench::specs::epochLoadGrid(),
+    };
+    for (const ExperimentSpec &spec : specs) {
+        std::string canonical = spec.toJson().dump(2);
+        ExperimentSpec back = ExperimentSpec::fromJson(spec.toJson());
+        EXPECT_EQ(back.toJson().dump(2), canonical)
+            << spec.name << ": fromJson(toJson()) is not identity";
+    }
+}
+
+TEST(Spec, ValidationRejectsShapeMismatches)
+{
+    ExperimentSpec base = bench::specs::fig13Small();
+
+    ExperimentSpec twoVariants = base;
+    twoVariants.variants.push_back(driver::SpecVariant{});
+    EXPECT_EQ(fatalMessage([&] { expandSpec(twoVariants); }),
+              "fatal: output.layout: design-table requires exactly one "
+              "variant (got 2)");
+
+    ExperimentSpec variantTable = bench::specs::fig18NocSensitivity();
+    variantTable.designs.push_back(LlcDesign::Adaptive);
+    EXPECT_EQ(fatalMessage([&] { expandSpec(variantTable); }),
+              "fatal: output.layout: variant-table requires exactly "
+              "one design (got 2)");
+
+    ExperimentSpec noSections = base;
+    noSections.output.sectionLabel.clear();
+    EXPECT_EQ(fatalMessage([&] { expandSpec(noSections); }),
+              "fatal: output.sectionLabel: required when the grid has "
+              "more than one (load, group) section");
+
+    // Schema-level rejections, through the document parser.
+    EXPECT_EQ(fatalMessage([] {
+                  ExperimentSpec::fromJson(JsonValue::parse("{}", "t"));
+              }),
+              "fatal: name: missing required key");
+
+    ExperimentSpec badColumn = base;
+    badColumn.output.columns[0].key = "bogus";
+    EXPECT_EQ(
+        fatalMessage([&] {
+            ExperimentSpec::fromJson(badColumn.toJson());
+        }),
+        "fatal: output.columns[0].key: unknown column key \"bogus\" "
+        "(tailMean|tailWorst|batchWS|batchWSMean|attackers)");
+}
+
+TEST(Spec, ExpansionOrderIsStableAndSeedsDeriveFromTheBase)
+{
+    ExperimentSpec spec;
+    spec.name = "order";
+    spec.preset = "testTiny";
+    spec.seed = {false, 42};
+    spec.mixes = {2, false, 2, 2, true};
+    spec.designs = {LlcDesign::Adaptive};
+    spec.loads = {LoadLevel::High, LoadLevel::Low};
+    spec.groups = {{"xapian", {"xapian"}}};
+    spec.variants = {{"a", JsonValue(), 0}, {"b", JsonValue(), 0}};
+    spec.output.title = "t";
+    spec.output.layout = "variant-table";
+    spec.output.sectionLabel = "[{load}]";
+    spec.output.columns = {{"tailMean", "tail"}};
+
+    SpecPlan plan = expandSpec(spec);
+    EXPECT_EQ(plan.mixCount, 2u);
+    ASSERT_EQ(plan.graph.size(), 8u);
+
+    // variants -> loads -> groups -> mixes, with the documented
+    // per-mix seed stride.
+    const char *expected[] = {
+        "a/high/xapian/mix0", "a/high/xapian/mix1",
+        "a/low/xapian/mix0",  "a/low/xapian/mix1",
+        "b/high/xapian/mix0", "b/high/xapian/mix1",
+        "b/low/xapian/mix0",  "b/low/xapian/mix1",
+    };
+    for (driver::JobId id = 0; id < plan.graph.size(); id++) {
+        EXPECT_EQ(plan.graph.job(id).label, expected[id]);
+        EXPECT_EQ(plan.graph.job(id).config.seed,
+                  42u + (id % 2) * 1000003ull);
+    }
+    for (std::size_t v = 0; v < 2; v++)
+        for (std::size_t l = 0; l < 2; l++)
+            for (std::size_t m = 0; m < 2; m++)
+                EXPECT_EQ(plan.jobIndex(v, l, 0, m, spec),
+                          v * 4 + l * 2 + m);
+
+    // Shared mode: one calibration per (variant, LC app), planned at
+    // the app's first-seen job, which carries the m=0 (base) seed.
+    ASSERT_EQ(plan.calibrationPlan.size(), 2u);
+    for (const driver::CalibrationJob &job : plan.calibrationPlan) {
+        EXPECT_EQ(job.lcName, "xapian");
+        EXPECT_EQ(job.config.seed, 42u);
+    }
+
+    // Same spec, same plan: labels and configs are reproducible.
+    SpecPlan again = expandSpec(spec);
+    ASSERT_EQ(again.graph.size(), plan.graph.size());
+    for (driver::JobId id = 0; id < plan.graph.size(); id++) {
+        EXPECT_EQ(again.graph.job(id).label, plan.graph.job(id).label);
+        EXPECT_EQ(configFingerprint(again.graph.job(id).config),
+                  configFingerprint(plan.graph.job(id).config));
+    }
+}
+
+/** The fig13-small grid shrunk to test size (the test_driver idiom). */
+ExperimentSpec
+tinyFig13Spec()
+{
+    ExperimentSpec spec;
+    spec.name = "fig13-tiny";
+    spec.preset = "benchScaled";
+    spec.overrides = JsonValue::parse(
+        "{\"llc\": {\"setsPerBank\": 32}, \"capacityScale\": 0.0625, "
+        "\"epochTicks\": 50000, \"warmupTicks\": 100000, "
+        "\"measureTicks\": 200000}",
+        "tinyFig13Spec");
+    spec.seed = {false, 42};
+    spec.mixes = {2, false, 4, 4, true};
+    spec.designs = {LlcDesign::Adaptive, LlcDesign::Jumanji};
+    spec.loads = {LoadLevel::High};
+    spec.groups = {{"xapian", {"xapian"}}, {"silo", {"silo"}}};
+    spec.calibration = CalibrationMode::Shared;
+    spec.output.title = "Tiny Figure 13";
+    spec.output.caption = "spec-vs-handwritten byte-identity probe";
+    spec.output.sectionLabel = "[{load} load, LC={group}, {mixes} mixes]";
+    spec.output.staticRow = true;
+    spec.output.columns = {{"tailMean", "tail(mean)"},
+                           {"tailWorst", "tail(worst)"},
+                           {"batchWS", "batchWS(gmean)"},
+                           {"attackers", "attackers"}};
+    return spec;
+}
+
+/** The pre-spec fig13 printGroup, verbatim, rendered to a string. */
+std::string
+handwrittenTable(const ExperimentSpec &spec,
+                 const std::vector<std::vector<MixResult>> &perGroup)
+{
+    std::string out;
+    char buf[256];
+    auto emit = [&](const char *fmt, auto... args) {
+        std::snprintf(buf, sizeof(buf), fmt, args...);
+        out += buf;
+    };
+    for (std::size_t g = 0; g < spec.groups.size(); g++) {
+        const std::vector<MixResult> &results = perGroup[g];
+        emit("\n[%s load, LC=%s, %u mixes]\n", "high",
+             spec.groups[g].label.c_str(),
+             static_cast<unsigned>(results.size()));
+        emit("%-20s %12s %12s %12s %12s\n", "design", "tail(mean)",
+             "tail(worst)", "batchWS(gmean)", "attackers");
+        std::vector<LlcDesign> rows = {LlcDesign::Static};
+        for (LlcDesign d : spec.designs) rows.push_back(d);
+        std::map<LlcDesign, double> speedups = gmeanSpeedups(results);
+        for (LlcDesign d : rows) {
+            double meanTail = 0.0, worstTail = 0.0, attackers = 0.0;
+            for (const MixResult &mix : results) {
+                const DesignResult &dr = mix.of(d);
+                meanTail += dr.run.stat("sys.tail.meanRatio");
+                worstTail = std::max(
+                    worstTail, dr.run.stat("sys.tail.worstRatio"));
+                attackers += dr.run.stat("sys.attackersPerAccess");
+            }
+            meanTail /= static_cast<double>(results.size());
+            attackers /= static_cast<double>(results.size());
+            emit("%-20s %12.3f %12.3f %12.3f %12.3f\n",
+                 llcDesignName(d), meanTail, worstTail, speedups[d],
+                 attackers);
+        }
+    }
+    return out;
+}
+
+TEST(Spec, RunIsByteIdenticalToTheHandwrittenSweep)
+{
+    ExperimentSpec spec = tinyFig13Spec();
+
+    // The handwritten side: a shared serial harness, one sweep per
+    // group — exactly the pre-spec bench structure.
+    SystemConfig base = SystemConfig::benchScaled();
+    base.llc.setsPerBank = 32;
+    base.capacityScale = 0.0625;
+    base.epochTicks = 50000;
+    base.warmupTicks = 100000;
+    base.measureTicks = 200000;
+    base.seed = 42;
+    ExperimentHarness harness(base);
+    std::vector<std::vector<MixResult>> perGroup;
+    std::vector<MixResult> handwritten;
+    for (const SpecGroup &group : spec.groups) {
+        std::vector<MixResult> results = harness.sweep(
+            group.lcNames, 2, spec.designs, LoadLevel::High);
+        for (const MixResult &r : results) handwritten.push_back(r);
+        perGroup.push_back(std::move(results));
+    }
+
+    // The spec side, through the parallel orchestrator.
+    driver::Orchestrator::Options opts;
+    opts.jobs = 2;
+    driver::Orchestrator orch(opts);
+    SpecRun run = driver::runSpec(spec, orch);
+
+    EXPECT_EQ(configFingerprint(run.plan.base), configFingerprint(base));
+    EXPECT_EQ(fingerprintResults(run.results),
+              fingerprintResults(handwritten))
+        << "spec expansion diverged from the handwritten sweep";
+    EXPECT_EQ(driver::renderSpecTable(spec, run),
+              handwrittenTable(spec, perGroup))
+        << "rendered table diverged from the handwritten formatter";
+}
+
+TEST(Spec, SeedFromEnvParsesTheFullRangeAndFallsBack)
+{
+    // In-process env edits: this is the only test touching the
+    // variable, and it restores "unset" on every path.
+    struct EnvGuard
+    {
+        ~EnvGuard() { unsetenv("JUMANJI_SEED"); }
+    } guard;
+
+    unsetenv("JUMANJI_SEED");
+    EXPECT_EQ(driver::seedFromEnv(7), 7u);
+
+    setenv("JUMANJI_SEED", "123", 1);
+    EXPECT_EQ(driver::seedFromEnv(7), 123u);
+
+    setenv("JUMANJI_SEED", "18446744073709551615", 1);
+    EXPECT_EQ(driver::seedFromEnv(7), 0xffffffffffffffffull);
+
+    // 0 is reserved as "unset"; junk and trailing garbage fall back
+    // (and warn once — not asserted here, the warning is logging).
+    for (const char *bad : {"0", "junk", "12x", ""}) {
+        setenv("JUMANJI_SEED", bad, 1);
+        EXPECT_EQ(driver::seedFromEnv(7), 7u) << "value: " << bad;
+    }
+}
+
+} // namespace
+} // namespace jumanji

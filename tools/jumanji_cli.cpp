@@ -4,6 +4,18 @@
  *
  * Usage:
  *   jumanji_cli [options]
+ *     --scenario <file>    run a declarative scenario document (an
+ *                          ExperimentSpec JSON, see
+ *                          examples/scenarios/ and docs/INTERNALS.md
+ *                          §12) through the orchestrator and print
+ *                          its report; --jobs/--cache-dir and the
+ *                          observability exports apply. An invalid
+ *                          scenario exits 2 with a "field: reason"
+ *                          diagnostic on stderr.
+ *     --scenario-check <file>
+ *                          parse, validate, and expand a scenario
+ *                          without simulating; prints the grid shape
+ *                          and exits 0 iff the document is valid
  *     --design <name>      Static|Adaptive|VM-Part|Jigsaw|Jumanji|
  *                          Insecure|IdealBatch (default: all five main)
  *     --lc <name|Mixed>    latency-critical app selection
@@ -54,11 +66,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/driver/orchestrator.hh"
+#include "src/driver/spec.hh"
+#include "src/sim/json.hh"
 #include "src/sim/logging.hh"
 #include "src/sim/statreg.hh"
 #include "src/sim/tracing.hh"
@@ -72,7 +87,8 @@ namespace {
 usage(const char *argv0, int exitCode = 2)
 {
     std::fprintf(exitCode == 0 ? stdout : stderr,
-                 "usage: %s [--design <name>] [--lc <name|Mixed>] "
+                 "usage: %s [--scenario FILE] [--scenario-check FILE] "
+                 "[--design <name>] [--lc <name|Mixed>] "
                  "[--load low|high] [--vms N] [--batch N] [--mixes N] "
                  "[--seed N] [--paper-scale] [--jobs N] "
                  "[--cache-dir DIR] [--sweep] [--selfcheck] "
@@ -80,6 +96,17 @@ usage(const char *argv0, int exitCode = 2)
                  "[--trace-out FILE] [--bench-json FILE]\n",
                  argv0);
     std::exit(exitCode);
+}
+
+/** Loads and validates a scenario document (fatal on any error). */
+driver::ExperimentSpec
+loadScenario(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) fatal("cannot open " + path);
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return driver::ExperimentSpec::fromJson(JsonValue::parse(text, path));
 }
 
 /** "%.17g"-style round-trip formatting, integers without a fraction. */
@@ -286,6 +313,7 @@ main(int argc, char **argv)
     bool selfcheck = false;
     std::string statsJsonPath, timelineCsvPath, traceOutPath;
     std::string benchJsonPath;
+    std::string scenarioPath, scenarioCheckPath;
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -294,7 +322,11 @@ main(int argc, char **argv)
             return argv[++i];
         };
         try {
-            if (arg == "--design") {
+            if (arg == "--scenario") {
+                scenarioPath = next();
+            } else if (arg == "--scenario-check") {
+                scenarioCheckPath = next();
+            } else if (arg == "--design") {
                 designs.push_back(parseDesign(next()));
             } else if (arg == "--lc") {
                 std::string name = next();
@@ -365,6 +397,74 @@ main(int argc, char **argv)
                      "error: --sweep uses the paper's fixed 4 VM x 4 "
                      "batch mixes; --vms/--batch do not apply\n");
         return 2;
+    }
+
+    // Scenario paths first: the document supplies what the ad-hoc
+    // flags would (designs, loads, mixes, seed policy); --jobs,
+    // --cache-dir, and the observability exports still apply. A
+    // malformed document exits 2 with its "field: reason" diagnostic,
+    // like any other bad usage.
+    if (!scenarioCheckPath.empty()) {
+        try {
+            driver::ExperimentSpec spec =
+                loadScenario(scenarioCheckPath);
+            driver::SpecPlan plan = driver::expandSpec(spec);
+            std::printf("scenario %s: %zu jobs (%zu variants x %zu "
+                        "loads x %zu groups x %u mixes), %zu designs, "
+                        "OK\n",
+                        spec.name.c_str(), plan.graph.size(),
+                        spec.variants.size(), spec.loads.size(),
+                        spec.groups.size(), plan.mixCount,
+                        spec.designs.size());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s: %s\n", scenarioCheckPath.c_str(),
+                         e.what());
+            return 2;
+        }
+        return 0;
+    }
+    if (!scenarioPath.empty()) {
+        driver::ExperimentSpec spec;
+        try {
+            spec = loadScenario(scenarioPath);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s: %s\n", scenarioPath.c_str(),
+                         e.what());
+            return 2;
+        }
+        try {
+            std::unique_ptr<Tracer> tracer;
+            if (!traceOutPath.empty())
+                tracer = std::make_unique<Tracer>();
+            driver::Orchestrator::Options orchOpts;
+            orchOpts.jobs = jobs;
+            orchOpts.cacheDir = cacheDir;
+            orchOpts.tracer = tracer.get();
+            driver::Orchestrator orchestrator(orchOpts);
+
+            driver::SpecRun run = driver::runSpec(spec, orchestrator);
+            std::fputs(driver::renderSpec(spec, run).c_str(), stdout);
+
+            if (!statsJsonPath.empty()) {
+                std::ofstream os(statsJsonPath);
+                if (!os) fatal("cannot open " + statsJsonPath);
+                writeStatsJson(os, run.results);
+            }
+            if (!timelineCsvPath.empty()) {
+                std::ofstream os(timelineCsvPath);
+                if (!os) fatal("cannot open " + timelineCsvPath);
+                writeTimelineCsv(os, run.results);
+            }
+            if (tracer != nullptr) {
+                std::ofstream os(traceOutPath);
+                if (!os) fatal("cannot open " + traceOutPath);
+                tracer->writeTo(os);
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 1;
+        }
+        return 0;
     }
 
     if (designs.empty()) {

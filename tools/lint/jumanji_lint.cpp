@@ -32,6 +32,13 @@
  *                      through the registry/tracer serializers. The
  *                      designated sinks (sim/logging.cc,
  *                      sim/statreg.cc, sim/tracing.cc) are exempt.
+ *   env-routing        std::getenv is banned in bench/ outside
+ *                      bench_common.hh: every environment knob a
+ *                      bench reads must flow through the shared
+ *                      helpers (seedFromEnv, mixCountFromEnv, ...)
+ *                      so knobs stay documented in one place and
+ *                      benches can't silently fork their own
+ *                      env-variable conventions.
  *   hot-path-container std::map/std::unordered_map (and multimap
  *                      variants, plus their headers) are banned in
  *                      the per-access subsystems (src/cache/,
@@ -566,6 +573,40 @@ checkIoRouting(const SourceFile &sf, std::vector<Finding> &findings)
     }
 }
 
+// --- Rule: env-routing ------------------------------------------------
+
+/**
+ * Benches read environment knobs only through the bench_common.hh
+ * helpers; src/ keeps its own sanctioned readers (driver, harness)
+ * and is not scanned by this rule.
+ */
+bool
+envRoutingApplies(const std::string &path)
+{
+    if (path.find("bench/") == std::string::npos) return false;
+    return !pathEndsWith(path, "bench_common.hh");
+}
+
+void
+checkEnvRouting(const SourceFile &sf, std::vector<Finding> &findings)
+{
+    if (!envRoutingApplies(sf.path)) return;
+    for (std::size_t at : findWord(sf.code, "getenv")) {
+        std::size_t after = skipSpaces(sf.code, at + 6);
+        if (after >= sf.code.size() || sf.code[after] != '(') continue;
+        // Member calls (x.getenv()) are not libc.
+        std::size_t p = prevToken(sf.code, at);
+        if (p != std::string::npos &&
+            (sf.code[p] == '.' ||
+             (sf.code[p] == '>' && p > 0 && sf.code[p - 1] == '-')))
+            continue;
+        report(findings, sf, "env-routing", at,
+               "getenv: benches read env knobs through the "
+               "bench_common.hh helpers (seedFromEnv, "
+               "mixCountFromEnv, ...), not directly");
+    }
+}
+
 // --- Rule: hot-path-container -----------------------------------------
 
 /**
@@ -814,6 +855,7 @@ main(int argc, char **argv)
         checkRawNewDelete(sf, findings);
         checkFloat(sf, findings);
         checkIoRouting(sf, findings);
+        checkEnvRouting(sf, findings);
         checkHotPathContainers(sf, findings);
         checkConcurrencyRouting(sf, findings);
     }
