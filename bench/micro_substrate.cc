@@ -10,8 +10,6 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cache/cache_array.hh"
-#include "src/core/jigsaw_placer.hh"
-#include "src/core/lat_crit_placer.hh"
 #include "src/core/lookahead.hh"
 #include "src/core/policies.hh"
 #include "src/dnuca/umon.hh"

@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "src/cache/way_mask.hh"
-#include "src/sim/types.hh"
 
 namespace jumanji {
 

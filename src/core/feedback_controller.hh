@@ -19,7 +19,6 @@
 #include <vector>
 
 #include "src/sim/stats.hh"
-#include "src/sim/types.hh"
 
 namespace jumanji {
 

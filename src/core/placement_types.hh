@@ -17,7 +17,6 @@
 #include "src/cache/way_mask.hh"
 #include "src/dnuca/miss_curve.hh"
 #include "src/dnuca/vtb.hh"
-#include "src/noc/mesh.hh"
 #include "src/sim/types.hh"
 
 namespace jumanji {

@@ -4,7 +4,6 @@
 #include <queue>
 
 #include "src/sim/check.hh"
-#include "src/sim/logging.hh"
 
 namespace jumanji {
 

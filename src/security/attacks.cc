@@ -1,5 +1,6 @@
 #include "src/security/attacks.hh"
 
+#include "src/dnuca/vtb.hh"
 #include "src/sim/logging.hh"
 
 namespace jumanji {

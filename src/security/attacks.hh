@@ -23,8 +23,6 @@
 
 #include "src/cache/cache_array.hh"
 #include "src/cpu/app_model.hh"
-#include "src/dnuca/vtb.hh"
-#include "src/sim/stats.hh"
 
 namespace jumanji {
 

@@ -1,0 +1,9 @@
+// Fixture: a cache file reaching up into the driver layer must trip
+// layering-dag.
+#include "src/driver/runner.hh"
+
+int
+cacheThing()
+{
+    return 1;
+}

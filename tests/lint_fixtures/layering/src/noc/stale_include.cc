@@ -1,0 +1,9 @@
+// Fixture: including a project header while referencing nothing it
+// exports must trip unused-include.
+#include "src/sim/cycle_a.hh"
+
+int
+nocThing()
+{
+    return 2;
+}

@@ -1,0 +1,8 @@
+// Fixture: two headers that include each other form an include
+// cycle (same subsystem, so only the cycle check can catch it).
+#include "src/sim/cycle_b.hh"
+
+struct CycleA
+{
+    CycleB *peer;
+};

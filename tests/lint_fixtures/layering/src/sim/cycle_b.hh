@@ -1,0 +1,7 @@
+// Fixture: the second half of the include cycle.
+#include "src/sim/cycle_a.hh"
+
+struct CycleB
+{
+    CycleA *peer;
+};

@@ -1,0 +1,9 @@
+// Fixture: a direct getenv in bench/ must trip env-routing.
+#include <cstdlib>
+
+int
+knob()
+{
+    const char *v = std::getenv("JUMANJI_FIXTURE");
+    return v == nullptr ? 0 : 1;
+}

@@ -1,0 +1,7 @@
+// Fixture: a wall-clock identifier in src/ must trip
+// no-unseeded-rand (the clock family shares the rule).
+long
+ticksNow()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Fixture: the float type and an f-suffixed literal must both trip
+// no-float in src/.
+double
+halfOf(double v)
+{
+    float scale = 0.5f;
+    return v * scale;
+}

@@ -1,0 +1,8 @@
+// Fixture: a node-based map in a per-access subsystem must trip
+// hot-path-container (type use and header include).
+#include <map>
+
+struct SlowIndex
+{
+    std::map<int, int> lookup;
+};

@@ -1,0 +1,8 @@
+// Fixture: direct stream output in src/ must trip io-routing.
+#include <iostream>
+
+void
+printIt(int v)
+{
+    std::cout << v;
+}

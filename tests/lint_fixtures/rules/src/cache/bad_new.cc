@@ -1,0 +1,15 @@
+// Fixture: raw new and raw delete must both trip raw-new-delete;
+// `= delete` and `operator new` must not.
+struct NoCopy
+{
+    NoCopy(const NoCopy &) = delete;
+};
+
+int
+makeAndFree()
+{
+    int *p = new int(7);
+    int v = *p;
+    delete p;
+    return v;
+}

@@ -1,0 +1,7 @@
+// Fixture: a bare rand() call must trip no-unseeded-rand.
+int
+badRandom()
+{
+    int x = rand();
+    return x;
+}

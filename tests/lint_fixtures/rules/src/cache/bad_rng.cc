@@ -1,0 +1,8 @@
+// Fixture: a std engine type outside src/sim/rng.hh must trip
+// rng-routing.
+unsigned
+makeEngine(unsigned seed)
+{
+    std::mt19937 gen(seed);
+    return gen();
+}

@@ -1,0 +1,11 @@
+// Fixture: the regex-era blind spots. Banned identifiers inside
+// string literals, char literals, comments, raw strings, and spliced
+// comments must produce ZERO findings in this file.
+/* a block comment mentioning rand() and new int and float */
+const char *kWords = "rand() srand mt19937 new delete float cout getenv";
+const char *kRaw = R"(time(nullptr) steady_clock std::map<int,int>)";
+char kQuote = '"';
+const char *kAfter = "still a string, not code: random_device mutex";
+// a spliced comment hiding rand() \
+   rand() is still inside the comment on this continuation line
+int kDone = 1;

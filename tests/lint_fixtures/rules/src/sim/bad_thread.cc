@@ -1,0 +1,8 @@
+// Fixture: a threading primitive outside src/driver/ must trip
+// concurrency-routing (type use and header include).
+#include <mutex>
+
+struct Guarded
+{
+    std::mutex lock;
+};

@@ -1,0 +1,8 @@
+// Fixture: an unordered container declared in a header; the
+// iteration happens in another file (cross-file matching).
+#include <unordered_map>
+
+struct Table
+{
+    std::unordered_map<int, int> cells;
+};

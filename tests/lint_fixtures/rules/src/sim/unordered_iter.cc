@@ -1,0 +1,11 @@
+// Fixture: iterating a container declared unordered elsewhere must
+// trip unordered-iter; keyed access does not.
+#include "src/sim/unordered_decl.hh"
+
+int
+firstCell(Table &t)
+{
+    auto it = t.cells.begin();
+    int keyed = t.cells.count(3);
+    return it == t.cells.end() ? keyed : it->second;
+}

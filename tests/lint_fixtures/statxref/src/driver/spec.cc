@@ -1,0 +1,35 @@
+// Fixture: a miniature of the experiment-spec reader -- just enough
+// structure for the ObjectReader schema extraction.
+void
+parseSpec(const Json &json, Spec &spec)
+{
+    ObjectReader r(json, "");
+    r.get("name");
+    r.get("seed");
+    r.get("mixes");
+    r.get("overrides");
+    r.get("output");
+    r.get("groups");
+    ObjectReader s(json, "seed");
+    s.get("base");
+    ObjectReader o(json, "output");
+    o.get("columns");
+}
+
+void
+parseColumn(const Json &item, const std::string &path)
+{
+    ObjectReader c(item, path);
+    c.get("key");
+    c.get("label");
+}
+
+const std::vector<std::string> &
+columnKeys()
+{
+    static const std::vector<std::string> kKeys = {
+        "tailMean",
+        "tailWorst",
+    };
+    return kKeys;
+}

@@ -1,0 +1,10 @@
+// Fixture: stat bindings for the cross-artifact checks. One literal
+// name and one concatenated name with a statIndexName() segment.
+void
+registerStats(StatRegistry &reg, Counters &c, int apps)
+{
+    reg.addCounter("llc.hits", "demand hits", &c.hits);
+    for (int i = 0; i < apps; i++)
+        reg.addGauge("apps.a" + statIndexName(i) + ".ipc",
+                     "instructions per cycle", makeReader(c, i));
+}

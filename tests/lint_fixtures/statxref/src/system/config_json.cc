@@ -1,0 +1,12 @@
+// Fixture: a miniature of the SystemConfig JSON reader.
+void
+applyConfigJson(const Json &json, SystemConfig &cfg)
+{
+    ObjectReader r(json, "");
+    r.get("llc");
+    r.get("timelineStats");
+    setU32(r, "epochTicks", &cfg.epochTicks);
+    ObjectReader l(json, "llc");
+    setU32(l, "banks", &cfg.llcBanks);
+    setU32(l, "ways", &cfg.llcWays);
+}

@@ -1,0 +1,17 @@
+// Fixture: one resolvable and one dangling stat lookup, plus one
+// resolvable and one impossible timeline selector.
+double
+readBack(const StatRegistry &reg)
+{
+    double ok = reg.value("llc.hits");
+    double indexed = reg.value("apps.a03.ipc");
+    double bad = reg.value("llc.misses");
+    return ok + indexed + bad;
+}
+
+void
+startTimeline(StatRegistry &reg)
+{
+    EpochRecorder rec(&reg, {"llc.", "bogus.prefix."});
+    rec.record(0);
+}

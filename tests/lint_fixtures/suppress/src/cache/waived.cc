@@ -1,0 +1,15 @@
+// Fixture: one used-and-justified waiver (silent), one stale waiver
+// and one used-but-unjustified waiver (both audit findings).
+int
+needsRand()
+{
+    // lint-allow: no-unseeded-rand fixture exercises the waiver path
+    int x = rand();
+    // lint-allow: no-float nothing on this line ever fires
+    int y = 2;
+    // lint-allow: raw-new-delete
+    int *p = new int(3);
+    int v = x + y + *p;
+    delete p; // lint-allow: raw-new-delete fixture frees its leak
+    return v;
+}

@@ -26,7 +26,6 @@
 #include "src/driver/orchestrator.hh"
 #include "src/driver/pool.hh"
 #include "src/driver/result_cache.hh"
-#include "src/sim/logging.hh"
 #include "src/system/harness.hh"
 
 namespace jumanji {

@@ -10,7 +10,10 @@
 #include "src/core/trade_policy.hh"
 #include "src/cpu/mem_path.hh"
 #include "src/sim/logging.hh"
-#include "src/system/harness.hh"
+#include "src/sim/rng.hh"
+#include "src/system/config.hh"
+#include "src/system/system.hh"
+#include "src/workloads/mixes.hh"
 
 namespace jumanji {
 namespace {

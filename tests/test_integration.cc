@@ -10,7 +10,6 @@
 
 #include "src/cpu/core_model.hh"
 #include "src/security/attacks.hh"
-#include "src/sim/logging.hh"
 #include "src/system/harness.hh"
 
 namespace jumanji {

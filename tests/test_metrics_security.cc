@@ -8,6 +8,7 @@
 
 #include <set>
 
+#include "src/dnuca/vtb.hh"
 #include "src/metrics/energy.hh"
 #include "src/metrics/speedup.hh"
 #include "src/security/attacks.hh"

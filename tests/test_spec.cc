@@ -84,7 +84,7 @@ TEST(ConfigJson, RoundTripPreservesTheFoldConfigFingerprint)
     mutated.measureTicks = 9876543;
     mutated.controller.percentile = 99.0;
     mutated.hullCurves = false;
-    mutated.timelineStats = {"sys.tail.*", "llc.*"};
+    mutated.timelineStats = {"sys.tail.", "llc."};
     configs.push_back(mutated);
 
     for (const SystemConfig &cfg : configs) {

@@ -2,6 +2,7 @@
 #include <cstdio>
 
 #include "src/sim/logging.hh"
+#include "src/system/harness.hh"
 #include "tools/debug_common.hh"
 
 using namespace jumanji;

@@ -10,9 +10,14 @@
 #ifndef JUMANJI_TOOLS_DEBUG_COMMON_HH
 #define JUMANJI_TOOLS_DEBUG_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 
-#include "src/system/harness.hh"
+#include "src/sim/stats.hh"
+#include "src/system/config.hh"
+#include "src/system/system.hh"
+#include "src/workloads/mixes.hh"
+
 
 namespace jumanji {
 namespace debug {

@@ -1,6 +1,7 @@
 // Developer scratch harness: dumps per-design internals for one mix.
 #include <cstdio>
 
+#include "src/system/harness.hh"
 #include "tools/debug_common.hh"
 
 using namespace jumanji;

@@ -1,0 +1,311 @@
+#include "tools/lint/lexer.hh"
+
+#include <cctype>
+
+namespace jlint {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+namespace {
+
+/**
+ * A cursor over the raw text that transparently skips line splices
+ * (backslash-newline, optionally with a carriage return) while
+ * keeping byte offsets and physical line numbers exact. Raw string
+ * bodies bypass it via rawGet().
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &s) : s_(s) { skipSplices(); }
+
+    bool atEnd() const { return i_ >= s_.size(); }
+    char peek() const { return atEnd() ? '\0' : s_[i_]; }
+
+    /** Lookahead past splices without consuming. */
+    char
+    peek2() const
+    {
+        Cursor copy(*this);
+        copy.get();
+        return copy.peek();
+    }
+
+    std::size_t offset() const { return i_; }
+    std::size_t line() const { return line_; }
+
+    char
+    get()
+    {
+        if (atEnd()) return '\0';
+        char c = s_[i_++];
+        if (c == '\n') line_++;
+        skipSplices();
+        return c;
+    }
+
+    /** Consume one byte with NO splice processing (raw strings). */
+    char
+    rawGet()
+    {
+        if (i_ >= s_.size()) return '\0';
+        char c = s_[i_++];
+        if (c == '\n') line_++;
+        return c;
+    }
+
+  private:
+    void
+    skipSplices()
+    {
+        while (i_ < s_.size() && s_[i_] == '\\') {
+            std::size_t j = i_ + 1;
+            if (j < s_.size() && s_[j] == '\r') j++;
+            if (j < s_.size() && s_[j] == '\n') {
+                i_ = j + 1;
+                line_++;
+            } else {
+                break;
+            }
+        }
+    }
+
+    const std::string &s_;
+    std::size_t i_ = 0;
+    std::size_t line_ = 1;
+};
+
+bool
+isStringPrefix(const std::string &ident)
+{
+    return ident == "u8" || ident == "u" || ident == "U" ||
+           ident == "L" || ident == "R" || ident == "u8R" ||
+           ident == "uR" || ident == "UR" || ident == "LR";
+}
+
+bool
+isRawPrefix(const std::string &ident)
+{
+    return !ident.empty() && ident.back() == 'R';
+}
+
+} // namespace
+
+LexedSource
+lex(const std::string &raw)
+{
+    LexedSource out;
+    Cursor c(raw);
+    bool lineHasToken = false; // anything but whitespace seen on line
+    bool inDirective = false;
+
+    auto push = [&](Tok kind, std::string text, std::size_t offset,
+                    std::size_t line) {
+        out.tokens.push_back(
+            Token{kind, std::move(text), offset, line, inDirective});
+        lineHasToken = true;
+    };
+
+    auto addComment = [&](std::size_t line, const std::string &text) {
+        out.comments[line] += text;
+    };
+
+    // Reads a normal (non-raw) quoted literal after the opening
+    // quote was consumed; returns the body.
+    auto readQuoted = [&](char quote) {
+        std::string body;
+        while (!c.atEnd()) {
+            char ch = c.get();
+            if (ch == '\\') {
+                body += ch;
+                if (!c.atEnd()) body += c.get();
+                continue;
+            }
+            if (ch == quote || ch == '\n') break; // unterminated: stop
+            body += ch;
+        }
+        return body;
+    };
+
+    // Reads R"delim( ... )delim" after the opening quote was
+    // consumed. No splice processing inside the body.
+    auto readRawString = [&] {
+        std::string delim;
+        while (!c.atEnd() && c.peek() != '(' && c.peek() != '\n' &&
+               delim.size() < 16)
+            delim += c.rawGet();
+        if (c.peek() == '(') c.rawGet();
+        const std::string closer = ")" + delim + "\"";
+        std::string body;
+        while (!c.atEnd()) {
+            body += c.rawGet();
+            if (body.size() >= closer.size() &&
+                body.compare(body.size() - closer.size(),
+                             closer.size(), closer) == 0) {
+                body.resize(body.size() - closer.size());
+                break;
+            }
+        }
+        return body;
+    };
+
+    while (!c.atEnd()) {
+        char ch = c.peek();
+        std::size_t offset = c.offset();
+        std::size_t line = c.line();
+
+        if (ch == '\n') {
+            c.get();
+            lineHasToken = false;
+            inDirective = false;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch)) != 0) {
+            c.get();
+            continue;
+        }
+
+        // Comments. A spliced "// ...\<newline>..." continues, and
+        // its text is attributed to the physical start line.
+        if (ch == '/' && c.peek2() == '/') {
+            std::string text;
+            while (!c.atEnd() && c.peek() != '\n') text += c.get();
+            addComment(line, text);
+            continue;
+        }
+        if (ch == '/' && c.peek2() == '*') {
+            c.get();
+            c.get();
+            std::string text = "/*";
+            std::size_t textLine = line;
+            char prev = '\0';
+            while (!c.atEnd()) {
+                char b = c.get();
+                if (b == '\n') {
+                    addComment(textLine, text);
+                    text.clear();
+                    textLine = c.line();
+                    prev = '\0';
+                    continue;
+                }
+                text += b;
+                if (prev == '*' && b == '/') break;
+                prev = b;
+            }
+            addComment(textLine, text);
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on the line.
+        if (ch == '#' && !lineHasToken) {
+            c.get();
+            while (!c.atEnd() &&
+                   (c.peek() == ' ' || c.peek() == '\t'))
+                c.get();
+            std::string directive;
+            while (!c.atEnd() && isIdentChar(c.peek()))
+                directive += c.get();
+            if (directive == "include") {
+                while (!c.atEnd() &&
+                       (c.peek() == ' ' || c.peek() == '\t'))
+                    c.get();
+                char open = c.peek();
+                if (open == '<' || open == '"') {
+                    c.get();
+                    char close = open == '<' ? '>' : '"';
+                    std::string target;
+                    while (!c.atEnd() && c.peek() != close &&
+                           c.peek() != '\n')
+                        target += c.get();
+                    out.includes.push_back(IncludeDirective{
+                        target, open == '<', line, offset});
+                }
+                // Includes emit no tokens: the header name must not
+                // feed identifier-level rules.
+                while (!c.atEnd() && c.peek() != '\n') c.get();
+                continue;
+            }
+            // Other directives: tokens are emitted (macro bodies are
+            // code) but flagged, until the unspliced end of line.
+            inDirective = true;
+            lineHasToken = true;
+            push(Tok::Punct, "#", offset, line);
+            if (!directive.empty())
+                push(Tok::Ident, directive, offset + 1, line);
+            continue;
+        }
+
+        // Identifier, possibly a literal prefix.
+        if (std::isalpha(static_cast<unsigned char>(ch)) != 0 ||
+            ch == '_') {
+            std::string ident;
+            while (!c.atEnd() && isIdentChar(c.peek()))
+                ident += c.get();
+            if (c.peek() == '"' && isStringPrefix(ident)) {
+                c.get();
+                std::string body = isRawPrefix(ident)
+                                       ? readRawString()
+                                       : readQuoted('"');
+                push(Tok::String, std::move(body), offset, line);
+                continue;
+            }
+            if (c.peek() == '\'' &&
+                (ident == "u8" || ident == "u" || ident == "U" ||
+                 ident == "L")) {
+                c.get();
+                push(Tok::Char, readQuoted('\''), offset, line);
+                continue;
+            }
+            push(Tok::Ident, std::move(ident), offset, line);
+            continue;
+        }
+
+        if (ch == '"') {
+            c.get();
+            push(Tok::String, readQuoted('"'), offset, line);
+            continue;
+        }
+        if (ch == '\'') {
+            c.get();
+            push(Tok::Char, readQuoted('\''), offset, line);
+            continue;
+        }
+
+        // pp-number: digits, then ident chars, quotes (digit
+        // separators), dots, and exponent signs.
+        if (std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+            (ch == '.' &&
+             std::isdigit(static_cast<unsigned char>(c.peek2())) !=
+                 0)) {
+            std::string num;
+            num += c.get();
+            while (!c.atEnd()) {
+                char b = c.peek();
+                if (isIdentChar(b) || b == '.' || b == '\'') {
+                    num += c.get();
+                    continue;
+                }
+                if ((b == '+' || b == '-') && !num.empty() &&
+                    (num.back() == 'e' || num.back() == 'E' ||
+                     num.back() == 'p' || num.back() == 'P')) {
+                    num += c.get();
+                    continue;
+                }
+                break;
+            }
+            push(Tok::Number, std::move(num), offset, line);
+            continue;
+        }
+
+        // Everything else: one punctuation byte per token.
+        c.get();
+        push(Tok::Punct, std::string(1, ch), offset, line);
+    }
+    return out;
+}
+
+} // namespace jlint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A small C++ lexer for jumanji_lint (docs/INTERNALS.md §8).
+ *
+ * The analyzer's passes operate on a token stream, not raw text, so
+ * string literals, char literals, comments, raw strings, and
+ * line-spliced constructs can never produce false matches. The lexer
+ * is deliberately not a full C++ front end: it tokenizes faithfully
+ * (identifiers, numbers, string/char literals with prefixes and
+ * escapes, single-char punctuators) and understands exactly the
+ * preprocessor shape the passes need (#include targets are recorded
+ * separately and emit no tokens; other directive tokens are emitted
+ * with an in-directive flag).
+ *
+ * Line splices (backslash-newline) are handled everywhere except
+ * inside raw string literals, matching translation phase 2 — an
+ * identifier or comment split across lines is still one token or one
+ * comment.
+ */
+
+#ifndef JUMANJI_LINT_LEXER_HH
+#define JUMANJI_LINT_LEXER_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jlint {
+
+enum class Tok
+{
+    Ident,  ///< identifier or keyword
+    Number, ///< pp-number (integer or floating literal, with suffix)
+    String, ///< string literal; text holds the (undecoded) body
+    Char,   ///< character literal; text holds the body
+    Punct,  ///< single punctuation character
+};
+
+struct Token
+{
+    Tok kind = Tok::Punct;
+    /** Spelling (identifier/number/punct) or literal body (string). */
+    std::string text;
+    /** Byte offset of the token start in SourceFile::raw. */
+    std::size_t offset = 0;
+    /** 1-based physical line of the token start. */
+    std::size_t line = 0;
+    /** Token sits on a preprocessor directive line. */
+    bool inDirective = false;
+};
+
+struct IncludeDirective
+{
+    /** Header path as written ("src/sim/types.hh" or "vector"). */
+    std::string target;
+    /** True for <...>, false for "...". */
+    bool angled = false;
+    std::size_t line = 0;
+    std::size_t offset = 0;
+};
+
+/** The lexed form of one translation unit. */
+struct LexedSource
+{
+    std::vector<Token> tokens;
+    std::vector<IncludeDirective> includes;
+    /** Physical line -> concatenated comment text on that line. */
+    std::map<std::size_t, std::string> comments;
+};
+
+/** Tokenizes @p raw. Never throws; unknown bytes become Punct. */
+LexedSource lex(const std::string &raw);
+
+/** True when @p c can appear in an identifier. */
+bool isIdentChar(char c);
+
+} // namespace jlint
+
+#endif // JUMANJI_LINT_LEXER_HH
