@@ -10,6 +10,10 @@
  *                          is byte-identical for any value)
  *   JUMANJI_CACHE_DIR=<d>  on-disk result cache (default: off)
  *   JUMANJI_SUMMARY=<f>    append one driver summary line per batch
+ *   JUMANJI_EVENTS=<f>     append one JSONL telemetry event per
+ *                          calibration/job/run (default: off)
+ *   JUMANJI_HEARTBEAT_MS=<n>  stderr progress heartbeat period for
+ *                          long sweeps (default: 0 = off)
  */
 
 #ifndef JUMANJI_BENCH_BENCH_COMMON_HH
@@ -99,6 +103,7 @@ orchestrator()
         opts.cacheDir = driver::cacheDirFromEnv();
         const char *summary = std::getenv("JUMANJI_SUMMARY");
         if (summary != nullptr) opts.summaryPath = summary;
+        opts.telemetry = driver::telemetryOptionsFromEnv();
         return opts;
     }());
     return orch;

@@ -2,6 +2,7 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/profiler.hh"
 #include "src/sim/statreg.hh"
 #include "src/sim/tracing.hh"
 
@@ -303,6 +304,7 @@ RuntimeDriver::installPlan(const PlacementPlan &plan, Tick now)
 void
 RuntimeDriver::reconfigureNow(Tick now)
 {
+    JUMANJI_PROF_SCOPE("sim.epoch.repartition");
     checkSetPhase("reconfigure");
     EpochInputs in = gatherInputs();
     PlacementPlan plan = policy_->reconfigure(in);

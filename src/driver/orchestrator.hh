@@ -31,6 +31,7 @@
 
 #include "src/driver/job.hh"
 #include "src/driver/result_cache.hh"
+#include "src/driver/telemetry.hh"
 #include "src/sim/statreg.hh"
 #include "src/sim/tracing.hh"
 
@@ -64,9 +65,17 @@ class Orchestrator
         /**
          * When non-empty, run() appends one line per invocation:
          * "jobs=<total> simulated=<n> cached=<n> failed=<n>
-         * workers=<n>". CI's warm-cache check greps this.
+         * workers=<n> hitrate=<cached/total> wall=<seconds>". CI's
+         * warm-cache check greps the count fields; the two trailing
+         * telemetry fields are wall-clock and excluded from any
+         * determinism comparison.
          */
         std::string summaryPath;
+        /**
+         * Event log + heartbeat knobs (src/driver/telemetry.hh).
+         * Both off by default; neither affects results.
+         */
+        TelemetryOptions telemetry;
     };
 
     explicit Orchestrator(Options options);
@@ -101,6 +110,7 @@ class Orchestrator
   private:
     Options options_;
     ResultCache cache_;
+    Telemetry telemetry_;
     StatRegistry statreg_;
 
     std::uint64_t jobsSubmitted_ = 0;
@@ -114,7 +124,8 @@ class Orchestrator
     std::vector<std::uint64_t> workerJobs_;
 
     void writeSummary(std::uint64_t total, std::uint64_t simulated,
-                      std::uint64_t cached, std::uint64_t failed) const;
+                      std::uint64_t cached, std::uint64_t failed,
+                      double wallSec) const;
 };
 
 /**

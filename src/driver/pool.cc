@@ -1,9 +1,29 @@
 #include "src/driver/pool.hh"
 
+#include <mutex>
+
 #include "src/sim/check.hh"
+#include "src/sim/profiler.hh"
 
 namespace jumanji {
 namespace driver {
+
+namespace {
+
+/**
+ * Serializes profile flushes from exiting workers. The profiler
+ * itself is lock-free by design (simulation code may not hold
+ * threading primitives), so the pool — the sanctioned home of
+ * concurrency — owns the exclusion around the shared aggregate.
+ */
+std::mutex &
+profileFlushMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 Pool::Pool(std::uint32_t workers)
 {
@@ -13,6 +33,8 @@ Pool::Pool(std::uint32_t workers)
     for (WorkerId id = 0; id < workers; id++) {
         threads_.emplace_back([this, id] {
             while (std::optional<Task> task = queue_.pop()) (*task)(id);
+            std::lock_guard<std::mutex> lock(profileFlushMutex());
+            prof::flushThreadProfile();
         });
     }
 }

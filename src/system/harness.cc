@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "src/sim/logging.hh"
+#include "src/sim/profiler.hh"
 
 namespace jumanji {
 
@@ -32,6 +33,7 @@ ExperimentHarness::mixCountFromEnv(std::uint32_t fallback)
 const LcCalibration &
 ExperimentHarness::calibrationFor(const std::string &lcName)
 {
+    JUMANJI_PROF_SCOPE("sim.calibrate");
     auto it = calibrationCache_.find(lcName);
     if (it != calibrationCache_.end()) return it->second;
 

@@ -5,6 +5,7 @@
 
 #include "src/sim/check.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/profiler.hh"
 #include "src/sim/tracing.hh"
 #include "src/workloads/spec_like.hh"
 
@@ -572,6 +573,7 @@ System::collect()
 RunResult
 System::run()
 {
+    JUMANJI_PROF_SCOPE("sim.run");
     // One live run per worker thread: resets the thread's check
     // context and (in Debug) rejects interleaved runs.
     CheckContextScope runScope;

@@ -1,0 +1,10 @@
+// Fixture: a direct gettimeofday in bench/ must trip clock-routing —
+// benches time themselves through the profiler and bench-json wall
+// fields, never with their own clock reads.
+long
+wallMicros()
+{
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    return tv.tv_sec * 1000000L + tv.tv_usec;
+}

@@ -1,5 +1,5 @@
-// Fixture: a wall-clock identifier in src/ must trip
-// no-unseeded-rand (the clock family shares the rule).
+// Fixture: a wall-clock identifier in src/ must trip clock-routing —
+// host time is reserved to the profiler/telemetry sinks.
 long
 ticksNow()
 {

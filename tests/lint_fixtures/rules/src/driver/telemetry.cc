@@ -1,0 +1,12 @@
+// Fixture: routing blind spots — this path ends in
+// driver/telemetry.cc, which is both a sanctioned clock sink
+// (clock-routing) and a sanctioned io sink (io-routing: the
+// heartbeat writes straight to stderr), so neither the system_clock
+// read nor the fprintf must be reported.
+void
+sanctionedHeartbeat()
+{
+    const long long ns =
+        std::chrono::system_clock::now().time_since_epoch().count();
+    std::fprintf(stderr, "[fixture] %lld\n", ns);
+}

@@ -1,0 +1,9 @@
+// Fixture: clock-routing blind spot — this path ends in
+// sim/profiler.cc, the sanctioned profiler clock sink, so its
+// steady_clock read must NOT be reported.
+unsigned long long
+sanctionedNowNs()
+{
+    return static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}

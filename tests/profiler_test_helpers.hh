@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Cross-TU helpers for the profiler tests. Each function is DEFINED
+ * in a different translation unit so both JUMANJI_PROF_SCOPE modes
+ * are covered in one binary regardless of build flags:
+ *
+ *  - enabledSite() lives in test_profiler.cc (macro active, gated by
+ *    the runtime flag);
+ *  - disabledSiteRuns() lives in test_profiler_disabled.cc, which
+ *    pins JUMANJI_DISABLE_PROFILING before including profiler.hh, so
+ *    its scope macro must compile to nothing.
+ *
+ * Mirrors tests/check_test_helpers.hh for the contract macros.
+ */
+
+#ifndef JUMANJI_TESTS_PROFILER_TEST_HELPERS_HH
+#define JUMANJI_TESTS_PROFILER_TEST_HELPERS_HH
+
+namespace jumanji {
+namespace proftest {
+
+/** Runs a JUMANJI_PROF_SCOPE("proftest.enabled.site") body. */
+void enabledSite();
+
+/**
+ * Runs a body whose JUMANJI_PROF_SCOPE("proftest.disabled.site") is
+ * compiled out; returns 42 to prove the body itself still executes.
+ */
+int disabledSiteRuns();
+
+} // namespace proftest
+} // namespace jumanji
+
+#endif // JUMANJI_TESTS_PROFILER_TEST_HELPERS_HH

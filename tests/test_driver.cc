@@ -26,6 +26,8 @@
 #include "src/driver/orchestrator.hh"
 #include "src/driver/pool.hh"
 #include "src/driver/result_cache.hh"
+#include "src/driver/telemetry.hh"
+#include "src/sim/json.hh"
 #include "src/system/harness.hh"
 
 namespace jumanji {
@@ -357,16 +359,26 @@ TEST(Orchestrator, CacheHitsOnSecondRunAndMissesAfterConfigEdit)
             invalidated.stats().value("driver.jobs.simulated"), 8.0);
     }
 
-    // The summary file recorded all three phases, in order.
+    // The summary file recorded all three phases, in order. The
+    // counters are exact; the trailing wall= field is host time, so
+    // only its presence is checked.
+    const auto expectSummary = [](const std::string &line,
+                                  const std::string &prefix) {
+        EXPECT_EQ(line.substr(0, prefix.size()), prefix) << line;
+        EXPECT_NE(line.find(" wall="), std::string::npos) << line;
+    };
     std::ifstream summary(opts.summaryPath);
     ASSERT_TRUE(summary.good());
     std::string line;
     std::getline(summary, line);
-    EXPECT_EQ(line, "jobs=8 simulated=8 cached=0 failed=0 workers=2");
+    expectSummary(line, "jobs=8 simulated=8 cached=0 failed=0 "
+                        "workers=2 hitrate=0.00 wall=");
     std::getline(summary, line);
-    EXPECT_EQ(line, "jobs=8 simulated=0 cached=8 failed=0 workers=2");
+    expectSummary(line, "jobs=8 simulated=0 cached=8 failed=0 "
+                        "workers=2 hitrate=1.00 wall=");
     std::getline(summary, line);
-    EXPECT_EQ(line, "jobs=8 simulated=8 cached=0 failed=0 workers=2");
+    expectSummary(line, "jobs=8 simulated=8 cached=0 failed=0 "
+                        "workers=2 hitrate=0.00 wall=");
 
     std::filesystem::remove_all(dir);
 }
@@ -431,6 +443,98 @@ TEST(Orchestrator, FatalInOneJobFailsOnlyThatJob)
     }
     EXPECT_EQ(orch.stats().value("driver.jobs.failed"), 1.0);
     EXPECT_EQ(orch.stats().value("driver.jobs.simulated"), 7.0);
+}
+
+TEST(Telemetry, OptionsComeFromEnvAndGarbageFallsBackOff)
+{
+    ::setenv("JUMANJI_EVENTS", "/tmp/jumanji_ev.jsonl", 1);
+    ::setenv("JUMANJI_HEARTBEAT_MS", "250", 1);
+    driver::TelemetryOptions on = driver::telemetryOptionsFromEnv();
+    EXPECT_EQ(on.eventsPath, "/tmp/jumanji_ev.jsonl");
+    EXPECT_EQ(on.heartbeatMs, 250u);
+
+    // Garbage and negative periods warn (once) and keep the
+    // heartbeat off rather than beating at a nonsense rate.
+    ::setenv("JUMANJI_HEARTBEAT_MS", "soon", 1);
+    EXPECT_EQ(driver::telemetryOptionsFromEnv().heartbeatMs, 0u);
+    ::setenv("JUMANJI_HEARTBEAT_MS", "-5", 1);
+    EXPECT_EQ(driver::telemetryOptionsFromEnv().heartbeatMs, 0u);
+
+    ::unsetenv("JUMANJI_EVENTS");
+    ::unsetenv("JUMANJI_HEARTBEAT_MS");
+    driver::TelemetryOptions off = driver::telemetryOptionsFromEnv();
+    EXPECT_TRUE(off.eventsPath.empty());
+    EXPECT_EQ(off.heartbeatMs, 0u);
+}
+
+/** Parses a JSONL event log into one JsonValue per line. */
+std::vector<JsonValue>
+readEvents(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good()) << path;
+    std::vector<JsonValue> events;
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty())
+            events.push_back(JsonValue::parse(line, path));
+    return events;
+}
+
+TEST(Telemetry, EventLogSchemaIsStableAcrossWorkerCounts)
+{
+    std::string dir = testing::TempDir() + "jumanji_events_test";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const auto runWith = [](std::uint32_t workers,
+                            const std::string &path) {
+        Orchestrator::Options opts;
+        opts.jobs = workers;
+        opts.telemetry.eventsPath = path;
+        Orchestrator orch(opts);
+        resultsOf(orch.run(eightJobGraph()));
+    };
+    runWith(1, dir + "/serial.jsonl");
+    runWith(4, dir + "/parallel.jsonl");
+
+    for (std::uint32_t workers : {1u, 4u}) {
+        const std::string path =
+            dir + (workers == 1 ? "/serial.jsonl" : "/parallel.jsonl");
+        const std::vector<JsonValue> events = readEvents(path);
+        // 8 job events plus the closing run event, and — because job
+        // events are written after the pool drains, in JobId order —
+        // the log order is deterministic for any worker count.
+        ASSERT_EQ(events.size(), 9u) << path;
+        for (driver::JobId id = 0; id < 8; id++) {
+            const JsonValue &e = events[id];
+            EXPECT_EQ(e.find("type")->asString("type"), "job");
+            EXPECT_EQ(e.find("id")->asU64("id"), id);
+            EXPECT_EQ(e.find("label")->asString("label"),
+                      "job" + std::to_string(id));
+            EXPECT_LT(e.find("worker")->asU64("worker"), workers);
+            EXPECT_FALSE(e.find("cached")->asBool("cached"));
+            EXPECT_TRUE(e.find("ok")->asBool("ok"));
+            EXPECT_GE(e.find("queue_wait_s")->asDouble("queue_wait_s"),
+                      0.0);
+            EXPECT_GE(e.find("probe_s")->asDouble("probe_s"), 0.0);
+            EXPECT_GT(e.find("simulate_s")->asDouble("simulate_s"),
+                      0.0);
+            EXPECT_GT(e.find("accesses")->asU64("accesses"), 0u);
+        }
+        const JsonValue &run = events[8];
+        EXPECT_EQ(run.find("type")->asString("type"), "run");
+        EXPECT_EQ(run.find("kind")->asString("kind"), "jobs");
+        EXPECT_EQ(run.find("jobs")->asU64("jobs"), 8u);
+        EXPECT_EQ(run.find("simulated")->asU64("simulated"), 8u);
+        EXPECT_EQ(run.find("cached")->asU64("cached"), 0u);
+        EXPECT_EQ(run.find("failed")->asU64("failed"), 0u);
+        EXPECT_EQ(run.find("workers")->asU64("workers"), workers);
+        EXPECT_GT(run.find("wall_s")->asDouble("wall_s"), 0.0);
+        EXPECT_GE(run.find("merge_s")->asDouble("merge_s"), 0.0);
+    }
+
+    std::filesystem::remove_all(dir);
 }
 
 TEST(Orchestrator, TracedRunMergesJobTracesInSubmissionOrder)

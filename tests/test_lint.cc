@@ -206,6 +206,44 @@ TEST(LintSuppressions, FileWideWaiverWorksAndStaleOneIsAudited)
     EXPECT_NE(fs[0].message.find("io-routing"), std::string::npos);
 }
 
+// ------------------------------------------------------- Clock rule
+
+TEST(LintRules, ClockRoutingFlagsCallsButNotDeclaratorsOrMembers)
+{
+    const std::string code =
+        "long now = time(nullptr);\n"  // libc call: fires
+        "long t2 = obj.time(3);\n"     // member call: quiet
+        "Tick time(Tick when);\n"      // declarator: quiet
+        "long c = clock();\n";         // libc call: fires
+    auto fs = lintMemory({{"src/cache/clocky.cc", code}});
+    EXPECT_EQ(countRule(fs, "clock-routing"), 2u);
+    EXPECT_TRUE(hasFinding(fs, "clock-routing", "src/cache/clocky.cc",
+                           "time"));
+    EXPECT_TRUE(hasFinding(fs, "clock-routing", "src/cache/clocky.cc",
+                           "clock"));
+
+    // The chrono clock types fire on sight (no call heuristics), but
+    // never inside the two sanctioned sink files.
+    const std::string chrono =
+        "auto t = std::chrono::steady_clock::now();\n";
+    EXPECT_EQ(countRule(lintMemory({{"src/noc/ticker.cc", chrono}}),
+                        "clock-routing"),
+              1u);
+    EXPECT_EQ(
+        countRule(lintMemory({{"src/sim/profiler.cc", chrono}}),
+                  "clock-routing"),
+        0u);
+    EXPECT_EQ(
+        countRule(lintMemory({{"src/driver/telemetry.cc", chrono}}),
+                  "clock-routing"),
+        0u);
+    // And tools/ is out of scope entirely: perf_history and the CLI
+    // may time themselves however they like.
+    EXPECT_EQ(countRule(lintMemory({{"tools/timer.cc", chrono}}),
+                        "clock-routing"),
+              0u);
+}
+
 // --------------------------------------------------------- Renderers
 
 TEST(LintRender, TextJsonAndSarifShapes)
@@ -234,11 +272,14 @@ TEST(LintRender, TextJsonAndSarifShapes)
 TEST(LintFixtures, TokenRulesFireAndBlindSpotsStayQuiet)
 {
     auto fs = lintFixture("rules");
-    EXPECT_EQ(countRule(fs, "no-unseeded-rand"), 2u);
+    EXPECT_EQ(countRule(fs, "no-unseeded-rand"), 1u);
     EXPECT_TRUE(hasFinding(fs, "no-unseeded-rand",
                            "src/cache/bad_rand.cc", "rand"));
-    EXPECT_TRUE(hasFinding(fs, "no-unseeded-rand",
+    EXPECT_EQ(countRule(fs, "clock-routing"), 2u);
+    EXPECT_TRUE(hasFinding(fs, "clock-routing",
                            "src/cache/bad_clock.cc", "steady_clock"));
+    EXPECT_TRUE(hasFinding(fs, "clock-routing", "bench/bad_walltime.cc",
+                           "gettimeofday"));
     EXPECT_EQ(countRule(fs, "rng-routing"), 1u);
     EXPECT_TRUE(hasFinding(fs, "rng-routing", "src/cache/bad_rng.cc",
                            "mt19937"));
@@ -253,14 +294,20 @@ TEST(LintFixtures, TokenRulesFireAndBlindSpotsStayQuiet)
     EXPECT_EQ(countRule(fs, "hot-path-container"), 2u);
     EXPECT_EQ(countRule(fs, "concurrency-routing"), 2u);
     // The blind-spot file (banned words only in strings/comments/raw
-    // strings) and the out-of-scope tools file must stay silent.
+    // strings), the out-of-scope tools file, and the sanctioned
+    // clock/io sinks (paths ending in sim/profiler.cc and
+    // driver/telemetry.cc) must stay silent.
     for (const Finding &f : fs) {
         EXPECT_EQ(f.file.find("quiet_blindspots"), std::string::npos)
             << f.file << ": " << f.message;
         EXPECT_EQ(f.file.find("ok_wallclock"), std::string::npos)
             << f.file << ": " << f.message;
+        EXPECT_NE(f.file, "src/sim/profiler.cc")
+            << f.file << ": " << f.message;
+        EXPECT_NE(f.file, "src/driver/telemetry.cc")
+            << f.file << ": " << f.message;
     }
-    EXPECT_EQ(fs.size(), 14u);
+    EXPECT_EQ(fs.size(), 15u);
 }
 
 // ------------------------------------------------- Fixture: layering

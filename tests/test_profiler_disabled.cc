@@ -1,0 +1,23 @@
+// Pins the profiling macro OFF for this TU (see
+// profiler_test_helpers.hh). With JUMANJI_DISABLE_PROFILING defined
+// before the include, JUMANJI_PROF_SCOPE must expand to a plain
+// no-op statement: no statics, no clock reads, nothing recorded even
+// while the runtime flag is on.
+#define JUMANJI_DISABLE_PROFILING 1
+
+#include "src/sim/profiler.hh"
+
+#include "tests/profiler_test_helpers.hh"
+
+namespace jumanji {
+namespace proftest {
+
+int
+disabledSiteRuns()
+{
+    JUMANJI_PROF_SCOPE("proftest.disabled.site");
+    return 42;
+}
+
+} // namespace proftest
+} // namespace jumanji

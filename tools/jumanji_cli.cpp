@@ -49,8 +49,30 @@
  *                          fig13-shaped sweep (every LC app plus
  *                          Mixed, high and low load, --mixes mixes
  *                          each) with the result cache disabled, and
- *                          write {wall_seconds, simulated_accesses,
- *                          accesses_per_sec, jobs} as JSON
+ *                          write a self-describing snapshot (schema
+ *                          jumanji-bench-v2: codeVersion, jobs,
+ *                          mixes, seed, wall_seconds,
+ *                          simulated_accesses, accesses_per_sec,
+ *                          and a per-phase breakdown) as JSON;
+ *                          tools/perf_history compares snapshots
+ *     --profile <file>     enable the host-side scope profiler
+ *                          (src/sim/profiler.hh) and write its
+ *                          aggregated JSON report (where the wall
+ *                          time went: sim.run, sim.calibrate,
+ *                          sim.epoch.repartition, driver.*) at exit
+ *     --events-out <file>  append one JSONL record per calibration,
+ *                          per job (queue wait, cache probe,
+ *                          simulate durations, cache hit/miss,
+ *                          worker id), and per orchestrator run
+ *                          (default $JUMANJI_EVENTS; unset = off)
+ *     --heartbeat-ms <n>   rate-limited stderr progress heartbeat
+ *                          for long sweeps: jobs done/total,
+ *                          accesses/s, ETA (default
+ *                          $JUMANJI_HEARTBEAT_MS; 0 = off)
+ *
+ * None of the profiling/telemetry outputs feed back into results:
+ * tables, fingerprints, and the result cache are byte-identical
+ * with them on or off (docs/INTERNALS.md §13).
  *
  * Prints one row per design: tail ratio (mean/worst over LC apps),
  * gmean batch weighted speedup vs. Static, and attackers/access.
@@ -75,6 +97,7 @@
 #include "src/driver/spec.hh"
 #include "src/sim/json.hh"
 #include "src/sim/logging.hh"
+#include "src/sim/profiler.hh"
 #include "src/sim/statreg.hh"
 #include "src/sim/tracing.hh"
 #include "src/system/harness.hh"
@@ -93,7 +116,9 @@ usage(const char *argv0, int exitCode = 2)
                  "[--seed N] [--paper-scale] [--jobs N] "
                  "[--cache-dir DIR] [--sweep] [--selfcheck] "
                  "[--stats-json FILE] [--timeline-csv FILE] "
-                 "[--trace-out FILE] [--bench-json FILE]\n",
+                 "[--trace-out FILE] [--bench-json FILE] "
+                 "[--profile FILE] [--events-out FILE] "
+                 "[--heartbeat-ms N]\n",
                  argv0);
     std::exit(exitCode);
 }
@@ -196,13 +221,20 @@ writeTimelineCsv(std::ostream &os, const std::vector<MixResult> &results)
  */
 int
 runBenchJson(const std::string &path, const SystemConfig &cfg,
-             std::uint32_t mixes, std::uint32_t jobs)
+             std::uint32_t mixes, std::uint32_t jobs,
+             const driver::TelemetryOptions &telemetry)
 {
     driver::Orchestrator::Options opts;
     opts.jobs = jobs;
+    opts.telemetry = telemetry;
     driver::Orchestrator orch(opts);
 
     auto start = std::chrono::steady_clock::now();
+    auto secondsSince = [](std::chrono::steady_clock::time_point t0) {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
 
     ExperimentHarness harness(cfg);
     {
@@ -214,6 +246,7 @@ runBenchJson(const std::string &path, const SystemConfig &cfg,
         for (std::size_t i = 0; i < plan.size(); i++)
             harness.setCalibration(plan[i].lcName, calibrations[i]);
     }
+    const double calibrateSec = secondsSince(start);
 
     std::vector<LlcDesign> designs = {
         LlcDesign::Adaptive, LlcDesign::VMPart, LlcDesign::Jigsaw,
@@ -249,6 +282,7 @@ runBenchJson(const std::string &path, const SystemConfig &cfg,
         }
     }
     std::vector<driver::JobOutcome> outcomes = orch.run(graph);
+    const double simulateSec = secondsSince(start) - calibrateSec;
 
     double accesses = 0.0;
     for (driver::JobId id = 0; id < outcomes.size(); id++) {
@@ -259,26 +293,53 @@ runBenchJson(const std::string &path, const SystemConfig &cfg,
             accesses += d.run.stat("llc.hits") + d.run.stat("llc.misses");
     }
 
-    double wall = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - start)
-                      .count();
+    double wall = secondsSince(start);
     double rate = wall > 0.0 ? accesses / wall : 0.0;
 
     std::ofstream os(path);
     if (!os) fatal("cannot open " + path);
-    char buf[256];
+    // Self-describing snapshot (schema jumanji-bench-v2): jobs,
+    // mixes, seed, and codeVersion pin what was measured, so
+    // tools/perf_history can refuse to compare unlike work instead
+    // of reporting a bogus throughput delta. CI pins
+    // simulated_accesses only — the v1 comparison stays valid.
+    char buf[512];
     std::snprintf(buf, sizeof(buf),
-                  "{\"wall_seconds\": %.3f,\n"
+                  "{\"schema\": \"jumanji-bench-v2\",\n"
+                  " \"codeVersion\": \"%s\",\n"
+                  " \"jobs\": %u,\n"
+                  " \"mixes\": %u,\n"
+                  " \"seed\": %llu,\n"
+                  " \"wall_seconds\": %.3f,\n"
                   " \"simulated_accesses\": %.0f,\n"
                   " \"accesses_per_sec\": %.0f,\n"
-                  " \"jobs\": %u}\n",
-                  wall, accesses, rate, jobs);
+                  " \"phases\": {\"calibrate_s\": %.3f, "
+                  "\"simulate_s\": %.3f, \"report_s\": %.3f}}\n",
+                  driver::kCodeVersion, jobs, mixes,
+                  static_cast<unsigned long long>(cfg.seed), wall,
+                  accesses, rate, calibrateSec, simulateSec,
+                  wall - calibrateSec - simulateSec);
     os << buf;
 
     std::printf("bench: %.0f accesses in %.3f s = %.0f accesses/s "
                 "(%u jobs) -> %s\n",
                 accesses, wall, rate, jobs, path.c_str());
     return 0;
+}
+
+/**
+ * Flushes the main thread's scopes into the process aggregate (the
+ * pool already flushed each worker at drain) and writes the profile
+ * report. No-op without --profile.
+ */
+void
+writeProfileJson(const std::string &path)
+{
+    if (path.empty()) return;
+    prof::flushThreadProfile();
+    std::ofstream os(path);
+    if (!os) fatal("cannot open " + path);
+    prof::aggregateProfile().writeJson(os);
 }
 
 LlcDesign
@@ -314,6 +375,9 @@ main(int argc, char **argv)
     std::string statsJsonPath, timelineCsvPath, traceOutPath;
     std::string benchJsonPath;
     std::string scenarioPath, scenarioCheckPath;
+    std::string profilePath;
+    driver::TelemetryOptions telemetry =
+        driver::telemetryOptionsFromEnv();
 
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -371,6 +435,13 @@ main(int argc, char **argv)
                 traceOutPath = next();
             } else if (arg == "--bench-json") {
                 benchJsonPath = next();
+            } else if (arg == "--profile") {
+                profilePath = next();
+            } else if (arg == "--events-out") {
+                telemetry.eventsPath = next();
+            } else if (arg == "--heartbeat-ms") {
+                telemetry.heartbeatMs = static_cast<std::uint32_t>(
+                    std::strtoul(next().c_str(), nullptr, 10));
             } else if (arg == "--help" || arg == "-h") {
                 usage(argv[0], 0);
             } else {
@@ -392,6 +463,10 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: --jobs must be >= 1\n");
         return 2;
     }
+    // Arm the profiler before any simulation runs. Without
+    // --profile every JUMANJI_PROF_SCOPE stays a single disarmed
+    // branch (<2% on the fig13-small bench, like tracing).
+    if (!profilePath.empty()) prof::setProfilingEnabled(true);
     if (sweepMode && (vms != 4 || batchPerVm != 4)) {
         std::fprintf(stderr,
                      "error: --sweep uses the paper's fixed 4 VM x 4 "
@@ -440,6 +515,7 @@ main(int argc, char **argv)
             orchOpts.jobs = jobs;
             orchOpts.cacheDir = cacheDir;
             orchOpts.tracer = tracer.get();
+            orchOpts.telemetry = telemetry;
             driver::Orchestrator orchestrator(orchOpts);
 
             driver::SpecRun run = driver::runSpec(spec, orchestrator);
@@ -460,6 +536,7 @@ main(int argc, char **argv)
                 if (!os) fatal("cannot open " + traceOutPath);
                 tracer->writeTo(os);
             }
+            writeProfileJson(profilePath);
         } catch (const std::exception &e) {
             std::fprintf(stderr, "error: %s\n", e.what());
             return 1;
@@ -482,8 +559,12 @@ main(int argc, char **argv)
     }
 
     try {
-        if (!benchJsonPath.empty())
-            return runBenchJson(benchJsonPath, cfg, mixes, jobs);
+        if (!benchJsonPath.empty()) {
+            int rc =
+                runBenchJson(benchJsonPath, cfg, mixes, jobs, telemetry);
+            writeProfileJson(profilePath);
+            return rc;
+        }
 
         // Each traced job gets a private tracer that the orchestrator
         // merges back in submission order, so the combined trace is
@@ -497,6 +578,7 @@ main(int argc, char **argv)
         // of the first — exactly what it must not be.
         orchOpts.cacheDir = selfcheck ? std::string() : cacheDir;
         orchOpts.tracer = tracer.get();
+        orchOpts.telemetry = telemetry;
         driver::Orchestrator orchestrator(orchOpts);
 
         auto runExperiment = [&]() {
@@ -554,6 +636,7 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(second),
                         first == second ? "OK" : "MISMATCH");
             writeTrace(); // both repetitions, for what it's worth
+            writeProfileJson(profilePath);
             return first == second ? 0 : 1;
         }
 
@@ -591,6 +674,7 @@ main(int argc, char **argv)
                         llcDesignName(d), meanTail, worst, speedups[d],
                         vuln[d]);
         }
+        writeProfileJson(profilePath);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

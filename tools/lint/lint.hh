@@ -9,9 +9,10 @@
  * files) and reports findings. Three pass families:
  *
  *   rules.cc          the per-file token rules (no-unseeded-rand,
- *                     rng-routing, unordered-iter, raw-new-delete,
- *                     no-float, io-routing, env-routing,
- *                     hot-path-container, concurrency-routing)
+ *                     clock-routing, rng-routing, unordered-iter,
+ *                     raw-new-delete, no-float, io-routing,
+ *                     env-routing, hot-path-container,
+ *                     concurrency-routing)
  *   include_graph.cc  layering-dag (subsystem DAG conformance,
  *                     include cycles) and unused-include
  *   stat_xref.cc      stat-xref (dotted stat names referenced by
@@ -103,7 +104,7 @@ struct LintContext
 
 // --- Passes (each appends to ctx.findings) ----------------------------
 
-/** The nine per-file token rules. */
+/** The ten per-file token rules. */
 void runTokenRules(LintContext &ctx);
 
 /** layering-dag + unused-include over the project include graph. */

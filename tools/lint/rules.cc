@@ -8,9 +8,12 @@
  *
  * Rule scopes (paths are repo-relative):
  *
- *   no-unseeded-rand     rand/srand/random_device everywhere;
- *                        wall-clock reads in src/ and bench/ only
- *                        (tools print wall timing by design)
+ *   no-unseeded-rand     rand/srand/random_device everywhere
+ *   clock-routing        wall-clock reads in src/ and bench/ minus
+ *                        the two sanctioned readers, the profiler
+ *                        (src/sim/profiler.cc) and driver telemetry
+ *                        (src/driver/telemetry.cc); tools print wall
+ *                        timing by design and are not scanned
  *   rng-routing          everywhere except src/sim/rng.hh
  *   unordered-iter       everywhere (cross-file: declarations in
  *                        headers are matched against loops in .cc)
@@ -18,6 +21,7 @@
  *   no-float             src/ and bench/ (identifier use and
  *                        f-suffixed literals)
  *   io-routing           src/ minus the logging/stats/trace sinks
+ *                        and the driver telemetry heartbeat
  *   env-routing          bench/ minus bench_common.hh
  *   hot-path-container   src/cache|cpu|dnuca|mem
  *   concurrency-routing  src/ minus src/driver/
@@ -75,33 +79,73 @@ checkRandAndClocks(LintContext &ctx, const SourceFile &sf)
     {
         const char *word;
         bool requiresCall; // only flag `word(`
-        bool wallClock;    // scoped to src/ and bench/
         const char *why;
     };
     static const Banned kBanned[] = {
-        {"rand", true, false, "libc rand() is unseeded global state"},
-        {"srand", true, false, "seed through Rng, not global srand()"},
-        {"random_device", false, false,
+        {"rand", true, "libc rand() is unseeded global state"},
+        {"srand", true, "seed through Rng, not global srand()"},
+        {"random_device", false,
          "std::random_device is nondeterministic by design"},
-        {"time", true, true, "wall-clock read breaks reproducibility"},
-        {"clock", true, true, "wall-clock read breaks reproducibility"},
-        {"gettimeofday", false, true,
-         "wall-clock read breaks reproducibility"},
-        {"system_clock", false, true,
-         "wall-clock read breaks reproducibility"},
-        {"steady_clock", false, true,
-         "wall-clock read breaks reproducibility"},
-        {"high_resolution_clock", false, true,
-         "wall-clock read breaks reproducibility"},
     };
-    const bool simCode = startsWith(sf.relPath, "src/") ||
-                         startsWith(sf.relPath, "bench/");
     const Tokens &ts = sf.lexed.tokens;
     for (std::size_t i = 0; i < ts.size(); i++) {
         if (ts[i].kind != Tok::Ident) continue;
         for (const auto &b : kBanned) {
             if (ts[i].text != b.word) continue;
-            if (b.wallClock && !simCode) continue;
+            if (b.requiresCall) {
+                if (!nextIs(ts, i, "(")) continue;
+                // Member calls (x.rand()) are not libc.
+                if (prevIsMemberAccess(ts, i)) continue;
+                // Declarations like `int rand(...)`: a preceding
+                // identifier means declarator, not call.
+                if (prevIsIdent(ts, i)) continue;
+            }
+            ctx.report(sf, "no-unseeded-rand", ts[i].line,
+                       ts[i].offset,
+                       std::string(b.word) + ": " + b.why);
+        }
+    }
+}
+
+// --- clock-routing ----------------------------------------------------
+
+/**
+ * Wall-clock reads in simulation code break reproducibility, so host
+ * time is measured by exactly two files: the profiler's clock source
+ * (src/sim/profiler.cc) and the driver telemetry sink
+ * (src/driver/telemetry.cc). Tools and tests print wall timing by
+ * design and are not scanned.
+ */
+bool
+clockRoutingApplies(const std::string &relPath)
+{
+    if (!startsWith(relPath, "src/") &&
+        !startsWith(relPath, "bench/"))
+        return false;
+    for (const char *sink : {"sim/profiler.cc", "driver/telemetry.cc"})
+        if (pathEndsWith(relPath, sink)) return false;
+    return true;
+}
+
+void
+checkClockRouting(LintContext &ctx, const SourceFile &sf)
+{
+    if (!clockRoutingApplies(sf.relPath)) return;
+    struct Banned
+    {
+        const char *word;
+        bool requiresCall; // only flag `word(`
+    };
+    static const Banned kBanned[] = {
+        {"time", true},          {"clock", true},
+        {"gettimeofday", false}, {"system_clock", false},
+        {"steady_clock", false}, {"high_resolution_clock", false},
+    };
+    const Tokens &ts = sf.lexed.tokens;
+    for (std::size_t i = 0; i < ts.size(); i++) {
+        if (ts[i].kind != Tok::Ident) continue;
+        for (const auto &b : kBanned) {
+            if (ts[i].text != b.word) continue;
             if (b.requiresCall) {
                 if (!nextIs(ts, i, "(")) continue;
                 // Member calls (x.time(), x->clock()) are not libc.
@@ -110,9 +154,12 @@ checkRandAndClocks(LintContext &ctx, const SourceFile &sf)
                 // identifier means declarator, not call.
                 if (prevIsIdent(ts, i)) continue;
             }
-            ctx.report(sf, "no-unseeded-rand", ts[i].line,
-                       ts[i].offset,
-                       std::string(b.word) + ": " + b.why);
+            ctx.report(sf, "clock-routing", ts[i].line, ts[i].offset,
+                       std::string(b.word) +
+                           ": wall-clock reads break reproducibility; "
+                           "host time is read only by the profiler "
+                           "(src/sim/profiler.cc) and driver "
+                           "telemetry (src/driver/telemetry.cc)");
         }
     }
 }
@@ -317,7 +364,8 @@ ioRoutingApplies(const std::string &relPath)
 {
     if (!startsWith(relPath, "src/")) return false;
     for (const char *sink :
-         {"sim/logging.cc", "sim/statreg.cc", "sim/tracing.cc"})
+         {"sim/logging.cc", "sim/statreg.cc", "sim/tracing.cc",
+          "driver/telemetry.cc"})
         if (pathEndsWith(relPath, sink)) return false;
     return true;
 }
@@ -496,6 +544,7 @@ runTokenRules(LintContext &ctx)
     for (const SourceFile &sf : ctx.files) {
         if (sf.isJson) continue;
         checkRandAndClocks(ctx, sf);
+        checkClockRouting(ctx, sf);
         checkRngRouting(ctx, sf);
         checkUnorderedIteration(ctx, sf, unorderedNames);
         checkRawNewDelete(ctx, sf);
