@@ -1,0 +1,28 @@
+/**
+ * @file
+ * KV flash crowd: a kv_small server under a diurnal-scale load spike
+ * (the "flashcrowd" trace steps offered load to 1.8x for the middle
+ * 30% of the measurement window), compared across Jumanji, the plain
+ * D-NUCA (Adaptive), and way-partitioning (VM-Part).
+ *
+ * Paper-external: the paper evaluates TailBench servers under
+ * two-level (high/low) load; this bench stresses the same designs
+ * with YCSB/Zipfian KV traffic whose load varies *within* a run, so
+ * the per-phase p95/p99 columns show how each design rides through
+ * the spike (Sec. IV-B's reconfiguration loop vs. static
+ * partitions).
+ *
+ * The grid is a spec (bench/specs.hh kvFlashCrowd, twin of
+ * examples/scenarios/kv_flash_crowd.json), so JUMANJI_JOBS /
+ * JUMANJI_MIXES / the result cache apply as in every other bench.
+ */
+
+#include "bench/specs.hh"
+
+int
+main()
+{
+    jumanji::setQuiet(true);
+    jumanji::bench::runSpecMain(jumanji::bench::specs::kvFlashCrowd());
+    return 0;
+}

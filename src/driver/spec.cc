@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/sim/logging.hh"
+#include "src/workloads/kv/kv_store.hh"
 #include "src/workloads/mixes.hh"
 
 namespace jumanji {
@@ -90,12 +91,14 @@ std::vector<std::string>
 lcNamesFromJson(const JsonValue &json, const std::string &path)
 {
     if (json.isString()) {
+        // "all" stays the TailBench catalog: KV apps opt in by name
+        // so existing "all" sweeps keep their membership.
         if (json.asString(path) == "all") return allTailAppNames();
         fatal(path + ": expected \"all\" or an array of LC app names");
     }
     if (!json.isArray())
         fatal(path + ": expected \"all\" or an array of LC app names");
-    const std::vector<std::string> known = allTailAppNames();
+    const std::vector<std::string> known = allLcAppNames();
     std::vector<std::string> names;
     for (std::size_t i = 0; i < json.items().size(); i++) {
         std::string item = path + "[" + std::to_string(i) + "]";
@@ -195,10 +198,15 @@ outputFromJson(const JsonValue &json)
         if (key == nullptr) fatal(path + ".key: missing required key");
         col.key = key->asString(path + ".key");
         const auto &keys = columnKeys();
-        if (std::find(keys.begin(), keys.end(), col.key) == keys.end())
+        // Dotted keys are registry leaves (e.g. apps.kv.spike.p95),
+        // averaged over the cell's mixes at render time; bare keys
+        // must be one of the aggregate columns.
+        if (std::find(keys.begin(), keys.end(), col.key) ==
+                keys.end() &&
+            col.key.find('.') == std::string::npos)
             fatal(path + ".key: unknown column key \"" + col.key +
                   "\" (tailMean|tailWorst|batchWS|batchWSMean|"
-                  "attackers)");
+                  "attackers, or a dotted stat name)");
         const JsonValue *header = cr.get("header");
         col.header = header != nullptr
                          ? header->asString(path + ".header")
@@ -327,6 +335,14 @@ columnValue(const std::string &key,
             sum += mix->of(d).run.stat("sys.attackersPerAccess");
         return sum / n;
     }
+    if (key.find('.') != std::string::npos) {
+        // Dotted key: a registry leaf, averaged over the cell's
+        // mixes (missing leaves read as 0 via RunResult::stat).
+        double sum = 0.0;
+        for (const MixResult *mix : cell)
+            sum += mix->of(d).run.stat(key);
+        return sum / n;
+    }
     panic("unknown column key " + key);
 }
 
@@ -369,6 +385,28 @@ seedFromEnv(std::uint64_t fallback)
         warned = true;
         warn("JUMANJI_SEED=\"" + std::string(env) +
              "\" is not a seed in [1, 2^64-1]; using fallback " +
+             std::to_string(fallback));
+    }
+    return fallback;
+}
+
+double
+kvLoadScaleFromEnv(double fallback)
+{
+    const char *env = std::getenv("JUMANJI_KV_LOAD_SCALE");
+    if (env == nullptr) return fallback;
+    char *end = nullptr;
+    double v = std::strtod(env, &end);
+    if (end != nullptr && *end == '\0' && end != env && v > 0.0 &&
+        v <= 1e3)
+        return v;
+    // Same warn-once contract as seedFromEnv: a malformed scale must
+    // not silently run at the fallback and pose as a scaled sweep.
+    static bool warned = false;
+    if (!warned) {
+        warned = true;
+        warn("JUMANJI_KV_LOAD_SCALE=\"" + std::string(env) +
+             "\" is not a scale in (0, 1000]; using fallback " +
              std::to_string(fallback));
     }
     return fallback;
@@ -601,6 +639,10 @@ expandSpec(const ExperimentSpec &spec)
     // "seed" override is a fixed value, the policy is the env hook.
     plan.base.seed = spec.seed.fromEnv ? seedFromEnv(spec.seed.fallback)
                                        : spec.seed.fallback;
+    // The KV load-scale env hook layers on the scenario's value, so
+    // a sweep can be rate-shifted without editing the file. Inert
+    // (returns the fallback) when the env var is unset.
+    plan.base.kv.loadScale = kvLoadScaleFromEnv(plan.base.kv.loadScale);
     validateConfig(plan.base);
 
     for (std::size_t v = 0; v < spec.variants.size(); v++) {

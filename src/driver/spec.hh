@@ -249,6 +249,14 @@ std::string renderSpec(const ExperimentSpec &spec, const SpecRun &run);
  */
 std::uint64_t seedFromEnv(std::uint64_t fallback = 1);
 
+/**
+ * JUMANJI_KV_LOAD_SCALE override, else @p fallback. Scales the
+ * offered load of every KV app in a scenario (kv.loadScale). Accepted
+ * range is (0, 1e3]; a set-but-ignored value warns once per process
+ * and falls back, mirroring seedFromEnv's policy.
+ */
+double kvLoadScaleFromEnv(double fallback = 1.0);
+
 } // namespace driver
 } // namespace jumanji
 

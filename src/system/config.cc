@@ -134,6 +134,10 @@ foldConfig(Fingerprint &fp, const SystemConfig &cfg)
     fp.addU64(cfg.migrateOnReconfig ? 1 : 0);
     fp.addDouble(cfg.deadlinePadding);
 
+    fp.addString(cfg.kv.trace);
+    fp.addDouble(cfg.kv.peakMultiplier);
+    fp.addDouble(cfg.kv.loadScale);
+
     fp.addU64(cfg.timelineStats.size());
     for (const std::string &sel : cfg.timelineStats) fp.addString(sel);
 }

@@ -49,6 +49,22 @@ loadName(LoadLevel load)
     return load == LoadLevel::Low ? "low" : "high";
 }
 
+/**
+ * Traffic shaping for KV-serving LC apps (src/workloads/kv/). Only
+ * consulted when the mix contains a KV app; plain TailBench mixes
+ * ignore it entirely, so default-valued kv fields leave existing
+ * runs untouched.
+ */
+struct KvTrafficConfig
+{
+    /** Load-trace preset name (see allLoadTraceNames()). */
+    std::string trace = "flat";
+    /** Peak/spike load as a multiple of the base rate. */
+    double peakMultiplier = 4.0;
+    /** Global factor on the offered load (env: JUMANJI_KV_LOAD_SCALE). */
+    double loadScale = 1.0;
+};
+
 /** Full system configuration. */
 struct SystemConfig
 {
@@ -120,6 +136,9 @@ struct SystemConfig
      * of pegging their controllers at max allocation (DESIGN.md).
      */
     double deadlinePadding = 1.6;
+
+    /** KV-serving traffic shape (ignored by non-KV mixes). */
+    KvTrafficConfig kv;
 
     // ---- Observability ----
 

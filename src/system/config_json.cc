@@ -22,6 +22,7 @@
 #include "src/sim/json.hh"
 #include "src/sim/logging.hh"
 #include "src/system/config.hh"
+#include "src/workloads/kv/load_trace.hh"
 
 namespace jumanji {
 
@@ -219,6 +220,30 @@ applyController(ControllerParams &ctl, const JsonValue &json)
     r.finish();
 }
 
+void
+applyKv(KvTrafficConfig &kv, const JsonValue &json)
+{
+    ObjectReader r(json, "kv");
+    if (const JsonValue *v = r.get("trace")) {
+        std::string name = v->asString(r.path("trace"));
+        bool known = false;
+        for (const std::string &t : allLoadTraceNames())
+            if (t == name) known = true;
+        if (!known) {
+            std::string list;
+            for (const std::string &t : allLoadTraceNames())
+                list += (list.empty() ? "" : "|") + t;
+            fatal(r.path("trace") + ": unknown load trace \"" +
+                  name + "\" (" + list + ")");
+        }
+        kv.trace = name;
+    }
+    setDouble(r, "peakMultiplier", kv.peakMultiplier, 1.0, 64.0,
+              false);
+    setDouble(r, "loadScale", kv.loadScale, 0.0, 1e3, true);
+    r.finish();
+}
+
 } // namespace
 
 LlcDesign
@@ -262,6 +287,7 @@ applyConfigJson(SystemConfig &cfg, const JsonValue &json)
     if (const JsonValue *v = r.get("umon")) applyUmon(cfg.umon, *v);
     if (const JsonValue *v = r.get("controller"))
         applyController(cfg.controller, *v);
+    if (const JsonValue *v = r.get("kv")) applyKv(cfg.kv, *v);
 
     if (const JsonValue *v = r.get("design"))
         cfg.design = llcDesignFromName(v->asString("design"), "design");
@@ -379,6 +405,13 @@ SystemConfig::toJson() const
     jCtl.set("percentile",
              JsonValue::makeNumber(controller.percentile));
     root.set("controller", std::move(jCtl));
+
+    JsonValue jKv = JsonValue::makeObject();
+    jKv.set("trace", JsonValue::makeString(kv.trace));
+    jKv.set("peakMultiplier",
+            JsonValue::makeNumber(kv.peakMultiplier));
+    jKv.set("loadScale", JsonValue::makeNumber(kv.loadScale));
+    root.set("kv", std::move(jKv));
 
     root.set("design",
              JsonValue::makeString(llcDesignName(design)));

@@ -49,6 +49,11 @@ ExperimentHarness::calibrationFor(const std::string &lcName)
     {
         SystemConfig cfg = base_;
         cfg.design = LlcDesign::Static;
+        // Calibration measures the app, not the traffic shape: a
+        // time-varying KV load trace (flash crowd etc.) must not
+        // leak into the service time or the deadline, or the
+        // deadline absorbs the spike it exists to judge.
+        cfg.kv.trace = "flat";
         cfg.utilizationOverride = 0.05;
         cfg.measureTicks *= 2;
         cfg.tracer = nullptr; // internal run; keep traces clean
@@ -64,7 +69,7 @@ ExperimentHarness::calibrationFor(const std::string &lcName)
         warn("service calibration produced 0 for " + lcName +
              "; falling back to the analytic nominal");
         calib.serviceCycles = System::nominalServiceCycles(
-            tailAppParams(lcName), base_.nominalLlcLatency);
+            lcAppParams(lcName), base_.nominalLlcLatency);
     }
 
     // Step 2 (Sec. VII): the deadline is the 95th-percentile latency
@@ -73,6 +78,7 @@ ExperimentHarness::calibrationFor(const std::string &lcName)
         SystemConfig cfg = base_;
         cfg.design = LlcDesign::Static;
         cfg.load = LoadLevel::High;
+        cfg.kv.trace = "flat"; // steady-state deadline (see above)
         cfg.tracer = nullptr; // internal run; keep traces clean
         // The deadline is a distribution tail; use a long window so
         // it is stable across harness instances.

@@ -87,6 +87,33 @@ class System::Sampler : public Agent
     std::map<TailLatencyApp *, std::size_t> lastWindow_;
 };
 
+// --------------------------------------------------------- KvLoadAgent
+
+/**
+ * Applies the KV offered-load trace: every quarter-epoch each KV app
+ * re-reads the trace (arrival-rate multiplier, skew delta, hot-key
+ * rotation) at the current tick. Only scheduled when the mix has KV
+ * apps, so other runs see no extra events.
+ */
+class System::KvLoadAgent : public Agent
+{
+  public:
+    KvLoadAgent(System *sys, Tick period) : sys_(sys), period_(period)
+    {
+    }
+
+    Tick
+    resume(Tick now) override
+    {
+        for (KvServerApp *app : sys_->kvApps_) app->onTraceTick(now);
+        return now + period_;
+    }
+
+  private:
+    System *sys_;
+    Tick period_;
+};
+
 // ------------------------------------------------------------- System
 
 System::~System() = default;
@@ -132,6 +159,19 @@ System::System(const SystemConfig &config, const WorkloadMix &mix,
         config_.placementGeometry(), config_.epochTicks);
 
     assignTiles(mix);
+
+    // KV apps are traffic-shaped by a load trace; plain mixes skip
+    // the whole mechanism (no trace, no agent, no kv stats) so their
+    // event streams and stat dumps are bit-identical to before.
+    bool anyKv = false;
+    for (const AppSlot &slot : slots_)
+        if (slot.latencyCritical && isKvAppName(slot.name))
+            anyKv = true;
+    if (anyKv)
+        kvTrace_ = loadTraceFromName(
+            config_.kv.trace, config_.warmupTicks,
+            config_.measureTicks, config_.kv.peakMultiplier);
+
     buildApps(mix, calibrations);
 
     if (config_.fixedLcTargetLines > 0)
@@ -153,6 +193,12 @@ System::System(const SystemConfig &config, const WorkloadMix &mix,
 
     sampler_ = std::make_unique<Sampler>(this, config_.epochTicks);
     queue_.schedule(sampler_.get(), config_.epochTicks);
+
+    if (!kvApps_.empty()) {
+        Tick period = std::max<Tick>(1, config_.epochTicks / 4);
+        kvAgent_ = std::make_unique<KvLoadAgent>(this, period);
+        queue_.schedule(kvAgent_.get(), period);
+    }
 
     for (auto &core : cores_) queue_.schedule(core.get(), 0);
 }
@@ -250,7 +296,10 @@ System::buildApps(const WorkloadMix &,
         double deadline = 0.0;
 
         if (slot.latencyCritical) {
-            TailAppParams params = tailAppParams(slot.name);
+            const KvAppParams *kvParams = findKvApp(slot.name);
+            TailAppParams params = kvParams
+                                       ? kvTailAppParams(slot.name)
+                                       : tailAppParams(slot.name);
             params.workingSets = scaleWorkingSets(
                 params.workingSets, config_.capacityScale);
             double service = nominalServiceCycles(
@@ -265,9 +314,23 @@ System::buildApps(const WorkloadMix &,
             }
             double interarrival = service / util;
 
-            auto tailApp = std::make_unique<TailLatencyApp>(
-                params, appId, interarrival,
-                Rng(config_.seed * 7919 + i * 13 + 1));
+            std::unique_ptr<TailLatencyApp> tailApp;
+            if (kvParams != nullptr) {
+                auto kvApp = std::make_unique<KvServerApp>(
+                    *kvParams, params, appId, interarrival,
+                    Rng(config_.seed * 7919 + i * 13 + 1));
+                kvApp->bindTrace(&kvTrace_, interarrival,
+                                 config_.kv.loadScale);
+                // Apply the trace's t=0 state before the first event
+                // (a diurnal trace does not start at multiplier 1).
+                kvApp->onTraceTick(0);
+                kvApps_.push_back(kvApp.get());
+                tailApp = std::move(kvApp);
+            } else {
+                tailApp = std::make_unique<TailLatencyApp>(
+                    params, appId, interarrival,
+                    Rng(config_.seed * 7919 + i * 13 + 1));
+            }
 
             deadline = deadlineDefault;
             slot.deadline = deadline;
@@ -441,6 +504,47 @@ System::registerStats()
             }
             return worst;
         });
+
+    // Per-trace-phase KV tail stats, registered only when the mix
+    // actually contains KV apps: the selfcheck fingerprint folds
+    // every registry leaf name, so non-KV runs must not grow stats.
+    if (!kvApps_.empty()) {
+        for (const std::string &phase : kvTrace_.phaseLabels()) {
+            statreg_.addFormula(
+                "apps.kv." + phase + ".p95",
+                "mean over KV apps of phase p95 tail / deadline",
+                [this, phase] { return kvPhaseRatio(phase, 95.0); });
+            statreg_.addFormula(
+                "apps.kv." + phase + ".p99",
+                "mean over KV apps of phase p99 tail / deadline",
+                [this, phase] { return kvPhaseRatio(phase, 99.0); });
+            statreg_.addFormula(
+                "apps.kv." + phase + ".count",
+                "KV requests completed in this phase", [this, phase] {
+                    double n = 0.0;
+                    for (const KvServerApp *app : kvApps_)
+                        n += static_cast<double>(
+                            app->phaseCount(phase));
+                    return n;
+                });
+        }
+    }
+}
+
+double
+System::kvPhaseRatio(const std::string &phase, double p) const
+{
+    double sum = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < apps_.size(); i++) {
+        if (!slots_[i].latencyCritical || slots_[i].deadline <= 0.0)
+            continue;
+        auto *app = dynamic_cast<KvServerApp *>(apps_[i].get());
+        if (app == nullptr || app->phaseCount(phase) == 0) continue;
+        sum += app->phasePercentile(phase, p) / slots_[i].deadline;
+        n++;
+    }
+    return n == 0 ? 0.0 : sum / n;
 }
 
 void
@@ -510,7 +614,7 @@ System::startMeasurement()
 {
     measureStart_ = queue_.now();
     for (auto &core : cores_) core->resetAccounting();
-    for (TailLatencyApp *app : tailApps()) app->mutableLatencies().clear();
+    for (TailLatencyApp *app : tailApps()) app->clearMeasurement();
     path_->clearVulnerabilityStats();
     if (idealBatchPath_) idealBatchPath_->clearVulnerabilityStats();
 }

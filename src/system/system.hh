@@ -23,6 +23,7 @@
 #include "src/sim/event_queue.hh"
 #include "src/sim/statreg.hh"
 #include "src/system/config.hh"
+#include "src/workloads/kv/kv_store.hh"
 #include "src/workloads/mixes.hh"
 #include "src/workloads/tail_latency.hh"
 
@@ -177,9 +178,23 @@ class System
      */
     void migrateApp(std::size_t appIndex, std::uint32_t newTile);
 
+    /** The KV app models, in app order (empty for non-KV mixes). */
+    const std::vector<KvServerApp *> &kvApps() const
+    {
+        return kvApps_;
+    }
+
+    /** The KV offered-load trace (empty for non-KV mixes). */
+    const LoadTrace &kvTrace() const { return kvTrace_; }
+
   private:
     /** Epoch bookkeeping agent (timelines). */
     class Sampler;
+    /** Applies the KV load trace to the KV apps over time. */
+    class KvLoadAgent;
+
+    /** Mean over KV apps of phase latency percentile / deadline. */
+    double kvPhaseRatio(const std::string &phase, double p) const;
 
     void assignTiles(const WorkloadMix &mix);
     void buildApps(const WorkloadMix &mix,
@@ -195,6 +210,11 @@ class System
     std::unique_ptr<MemPath> idealBatchPath_;
     std::unique_ptr<RuntimeDriver> runtime_;
     std::unique_ptr<Sampler> sampler_;
+    std::unique_ptr<KvLoadAgent> kvAgent_;
+
+    /** Offered-load trace driving kvApps_ (empty when none). */
+    LoadTrace kvTrace_;
+    std::vector<KvServerApp *> kvApps_;
 
     /** Declared before recorder_: the recorder samples it. */
     StatRegistry statreg_;

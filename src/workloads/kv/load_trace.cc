@@ -1,0 +1,159 @@
+#include "src/workloads/kv/load_trace.hh"
+
+#include "src/sim/logging.hh"
+
+namespace jumanji {
+
+void
+LoadTrace::addPhase(const std::string &label, Tick duration,
+                    double beginMultiplier, double endMultiplier,
+                    double thetaDelta, std::uint64_t keyRotation)
+{
+    if (duration == 0) fatal("LoadTrace: phase duration must be > 0");
+    if (beginMultiplier <= 0.0 || endMultiplier <= 0.0)
+        fatal("LoadTrace: load multipliers must be positive");
+    TracePhase phase;
+    phase.label = label;
+    phase.start = phases_.empty()
+                      ? 0
+                      : phases_.back().start + phases_.back().duration;
+    phase.duration = duration;
+    phase.beginMultiplier = beginMultiplier;
+    phase.endMultiplier = endMultiplier;
+    phase.thetaDelta = thetaDelta;
+    phase.keyRotation = keyRotation;
+    phases_.push_back(std::move(phase));
+}
+
+const TracePhase &
+LoadTrace::phaseAt(Tick now) const
+{
+    if (phases_.empty()) fatal("LoadTrace: no phases defined");
+    for (const TracePhase &phase : phases_)
+        if (now < phase.start + phase.duration) return phase;
+    return phases_.back();
+}
+
+double
+LoadTrace::multiplierAt(Tick now) const
+{
+    const TracePhase &phase = phaseAt(now);
+    if (now <= phase.start) return phase.beginMultiplier;
+    if (now >= phase.start + phase.duration)
+        return phase.endMultiplier;
+    double frac = static_cast<double>(now - phase.start) /
+                  static_cast<double>(phase.duration);
+    return phase.beginMultiplier +
+           (phase.endMultiplier - phase.beginMultiplier) * frac;
+}
+
+const std::string &
+LoadTrace::phaseLabelAt(Tick now) const
+{
+    return phaseAt(now).label;
+}
+
+double
+LoadTrace::thetaDeltaAt(Tick now) const
+{
+    return phaseAt(now).thetaDelta;
+}
+
+std::uint64_t
+LoadTrace::keyRotationAt(Tick now) const
+{
+    return phaseAt(now).keyRotation;
+}
+
+std::vector<std::string>
+LoadTrace::phaseLabels() const
+{
+    std::vector<std::string> labels;
+    for (const TracePhase &phase : phases_) {
+        bool seen = false;
+        for (const std::string &label : labels)
+            if (label == phase.label) seen = true;
+        if (!seen) labels.push_back(phase.label);
+    }
+    return labels;
+}
+
+Tick
+LoadTrace::horizon() const
+{
+    if (phases_.empty()) return 0;
+    return phases_.back().start + phases_.back().duration;
+}
+
+const std::vector<std::string> &
+allLoadTraceNames()
+{
+    static const std::vector<std::string> kNames = {
+        "flat", "diurnal", "flashcrowd", "skewshift", "hotkeys"};
+    return kNames;
+}
+
+LoadTrace
+loadTraceFromName(const std::string &name, Tick warmupTicks,
+                  Tick measureTicks, double peakMultiplier)
+{
+    Tick horizon = warmupTicks + measureTicks;
+    if (horizon < 10) fatal("loadTraceFromName: run too short");
+    double peak = peakMultiplier < 1.0 ? 1.0 : peakMultiplier;
+
+    LoadTrace trace;
+    if (name == "flat") {
+        trace.addPhase("steady", horizon, 1.0, 1.0);
+        return trace;
+    }
+    if (name == "diurnal") {
+        // One synthetic day: ramp out of the trough to the peak,
+        // hold, ramp back down, and idle at the trough. The ramps
+        // exercise the interpolation path; the holds give each
+        // phase a stable rate for its tail percentile.
+        Tick quarter = horizon / 4;
+        Tick rest = horizon - 3 * quarter;
+        trace.addPhase("morning", quarter, 0.4, peak);
+        trace.addPhase("midday", quarter, peak, peak);
+        trace.addPhase("evening", quarter, peak, 0.4);
+        trace.addPhase("night", rest, 0.4, 0.4);
+        return trace;
+    }
+    if (name == "flashcrowd") {
+        // The spike occupies the middle ~30% of the *measurement*
+        // window, so before/spike/after all collect enough samples
+        // for a p95/p99 (warmup counts toward "before").
+        Tick before = warmupTicks + (measureTicks * 3) / 10;
+        Tick spike = (measureTicks * 3) / 10;
+        Tick after = horizon - before - spike;
+        trace.addPhase("before", before, 1.0, 1.0);
+        trace.addPhase("spike", spike, peak, peak);
+        trace.addPhase("after", after, 1.0, 1.0);
+        return trace;
+    }
+    if (name == "skewshift") {
+        // Constant rate; halfway through the measurement window the
+        // key popularity sharpens (theta += 0.10) — the hot set
+        // shrinks but gets hotter.
+        Tick first = warmupTicks + measureTicks / 2;
+        trace.addPhase("drift_lo", first, 1.0, 1.0, 0.0);
+        trace.addPhase("drift_hi", horizon - first, 1.0, 1.0, 0.10);
+        return trace;
+    }
+    if (name == "hotkeys") {
+        // Constant rate and skew; halfway through, the popular keys
+        // migrate to a disjoint set (hash rotation), forcing the
+        // cached hot set to be rebuilt.
+        Tick first = warmupTicks + measureTicks / 2;
+        trace.addPhase("resident", first, 1.0, 1.0);
+        trace.addPhase("migrated", horizon - first, 1.0, 1.0, 0.0,
+                       0x9e3779b97f4a7c15ull);
+        return trace;
+    }
+    std::string known;
+    for (const std::string &n : allLoadTraceNames())
+        known += (known.empty() ? "" : "|") + n;
+    fatal("unknown load trace \"" + name + "\" (" + known + ")");
+}
+
+} // namespace jumanji

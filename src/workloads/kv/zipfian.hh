@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Seeded key-popularity samplers for the KV-serving workloads.
+ *
+ * The Zipfian sampler follows the standard YCSB construction
+ * (Gray et al., "Quickly Generating Billion-Record Synthetic
+ * Databases"): draw a uniform u and map it through the precomputed
+ * zeta(n, theta) normalizer,
+ *
+ *   alpha = 1 / (1 - theta)
+ *   eta   = (1 - (2/n)^(1-theta)) / (1 - zeta(2)/zeta(n))
+ *   rank  = n * (eta*u - eta + 1)^alpha        (general case)
+ *
+ * with the two most popular ranks special-cased so the head of the
+ * distribution is exact. zeta(n, theta) is an O(n) sum, so it is
+ * memoized process-wide: every app instance with the same (n, theta)
+ * shares one computation.
+ *
+ * ScrambledZipfian decorrelates rank from key id with an FNV-1a hash
+ * so the popular keys are spread across the keyspace instead of
+ * clustered at the low ids; its rotation knob re-hashes under a
+ * different offset, which is how a hot-key migration is modelled
+ * (same popularity *shape*, different popular *keys*).
+ *
+ * All draws consume exactly one or two values from the caller's Rng,
+ * deterministically — samplers hold no hidden random state.
+ */
+
+#ifndef JUMANJI_WORKLOADS_KV_ZIPFIAN_HH
+#define JUMANJI_WORKLOADS_KV_ZIPFIAN_HH
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "src/sim/rng.hh"
+
+namespace jumanji {
+
+namespace detail {
+
+struct ZetaCache
+{
+    std::map<std::pair<std::uint64_t, std::uint64_t>, double> values;
+    std::uint64_t computations = 0;
+};
+
+inline ZetaCache &
+zetaCache()
+{
+    // Per-thread, not process-wide with a lock: simulation code is
+    // single-threaded by design (see the concurrency-routing lint
+    // rule), and under a parallel driver each worker recomputing a
+    // handful of zeta sums is cheaper than a contended mutex. The
+    // values are pure functions of (n, theta), so per-thread caches
+    // cannot diverge.
+    thread_local ZetaCache cache;
+    return cache;
+}
+
+} // namespace detail
+
+/**
+ * zeta(n, theta) = sum_{k=1..n} 1/k^theta, memoized per thread.
+ * theta is keyed by its bit pattern, so only exact repeats share an
+ * entry — which is the common case (every instance of one catalog
+ * app uses the same theta).
+ */
+inline double
+zetaCached(std::uint64_t n, double theta)
+{
+    std::uint64_t thetaBits = 0;
+    static_assert(sizeof(thetaBits) == sizeof(theta), "bit punning");
+    std::memcpy(&thetaBits, &theta, sizeof(theta));
+
+    detail::ZetaCache &cache = detail::zetaCache();
+    auto key = std::make_pair(n, thetaBits);
+    auto it = cache.values.find(key);
+    if (it != cache.values.end()) return it->second;
+
+    double sum = 0.0;
+    for (std::uint64_t k = 1; k <= n; k++)
+        sum += 1.0 / std::pow(static_cast<double>(k), theta);
+    cache.computations++;
+    cache.values.emplace(key, sum);
+    return sum;
+}
+
+/**
+ * Cold zeta computations by this thread so far (tests pin cache
+ * reuse with this).
+ */
+inline std::uint64_t
+zetaComputations()
+{
+    return detail::zetaCache().computations;
+}
+
+/** FNV-1a over the 8 bytes of @p value. */
+inline std::uint64_t
+fnv1a64(std::uint64_t value)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (int i = 0; i < 8; i++) {
+        hash ^= (value >> (i * 8)) & 0xffull;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/** Draws ranks in [0, items): rank 0 is the most popular. */
+class ZipfianSampler
+{
+  public:
+    explicit ZipfianSampler(std::uint64_t items, double theta = 0.99)
+        : items_(items < 2 ? 2 : items),
+          theta_(theta),
+          zetan_(zetaCached(items_, theta)),
+          zeta2_(zetaCached(2, theta)),
+          alpha_(1.0 / (1.0 - theta)),
+          eta_((1.0 -
+                std::pow(2.0 / static_cast<double>(items_),
+                         1.0 - theta)) /
+               (1.0 - zeta2_ / zetan_)),
+          halfPowTheta_(std::pow(0.5, theta))
+    {
+    }
+
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        double u = rng.uniform();
+        double uz = u * zetan_;
+        if (uz < 1.0) return 0;
+        if (uz < 1.0 + halfPowTheta_) return 1;
+        auto rank = static_cast<std::uint64_t>(
+            static_cast<double>(items_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return rank >= items_ ? items_ - 1 : rank;
+    }
+
+    std::uint64_t items() const { return items_; }
+    double theta() const { return theta_; }
+    double zetan() const { return zetan_; }
+
+  private:
+    std::uint64_t items_;
+    double theta_;
+    double zetan_;
+    double zeta2_;
+    double alpha_;
+    double eta_;
+    double halfPowTheta_;
+};
+
+/**
+ * Zipfian popularity spread over the keyspace by hashing the rank.
+ * setRotation() changes *which* keys are popular without changing
+ * the popularity shape (hot-key migration).
+ */
+class ScrambledZipfianSampler
+{
+  public:
+    explicit ScrambledZipfianSampler(std::uint64_t items,
+                                     double theta = 0.99)
+        : zipf_(items, theta)
+    {
+    }
+
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        return fnv1a64(zipf_.draw(rng) + rotation_) % zipf_.items();
+    }
+
+    void setRotation(std::uint64_t rotation) { rotation_ = rotation; }
+    std::uint64_t rotation() const { return rotation_; }
+    std::uint64_t items() const { return zipf_.items(); }
+    double theta() const { return zipf_.theta(); }
+
+    /** Rebuilds the underlying Zipfian with a new skew (same keys). */
+    void
+    setTheta(double theta)
+    {
+        if (theta != zipf_.theta())
+            zipf_ = ZipfianSampler(zipf_.items(), theta);
+    }
+
+  private:
+    ZipfianSampler zipf_;
+    std::uint64_t rotation_ = 0;
+};
+
+/** Uniform key popularity (YCSB "uniform"). */
+class UniformSampler
+{
+  public:
+    explicit UniformSampler(std::uint64_t items)
+        : items_(items < 1 ? 1 : items)
+    {
+    }
+
+    std::uint64_t draw(Rng &rng) const { return rng.below(items_); }
+    std::uint64_t items() const { return items_; }
+
+  private:
+    std::uint64_t items_;
+};
+
+/**
+ * Latest-biased popularity (YCSB "latest", workload D): recently
+ * inserted keys are the most popular. The caller advances the
+ * insertion cursor on every insert.
+ */
+class LatestSampler
+{
+  public:
+    explicit LatestSampler(std::uint64_t items, double theta = 0.99)
+        : zipf_(items, theta),
+          items_(items < 2 ? 2 : items),
+          cursor_(items_ - 1)
+    {
+    }
+
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        std::uint64_t back = zipf_.draw(rng);
+        return (cursor_ + items_ - (back % items_)) % items_;
+    }
+
+    void advance() { cursor_ = (cursor_ + 1) % items_; }
+    std::uint64_t cursor() const { return cursor_; }
+
+  private:
+    ZipfianSampler zipf_;
+    std::uint64_t items_;
+    std::uint64_t cursor_;
+};
+
+} // namespace jumanji
+
+#endif // JUMANJI_WORKLOADS_KV_ZIPFIAN_HH

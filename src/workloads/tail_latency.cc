@@ -117,18 +117,37 @@ TailLatencyApp::drainArrivals(Tick now)
     }
 }
 
+double
+TailLatencyApp::drawWorkScale()
+{
+    // Heavy requests (drawn from the arrival stream so the request
+    // sequence is identical across LLC designs) set the tail, as in
+    // real interactive services with skewed request costs.
+    return heavyRng_.bernoulli(params_.heavyFrac)
+               ? params_.heavyScale
+               : 1.0;
+}
+
+LineAddr
+TailLatencyApp::drawAccess(Rng &rng)
+{
+    return stream_.draw(rng);
+}
+
+void
+TailLatencyApp::recordCompletion(Tick finish, double latency)
+{
+    (void)finish;
+    (void)latency;
+}
+
 void
 TailLatencyApp::startNextRequest()
 {
     serviceArrivalTick_ = pendingArrivals_.front();
     pendingArrivals_.pop_front();
     inService_ = true;
-    // Heavy requests (drawn from the arrival stream so the request
-    // sequence is identical across LLC designs) set the tail, as in
-    // real interactive services with skewed request costs.
-    double scale = heavyRng_.bernoulli(params_.heavyFrac)
-                       ? params_.heavyScale
-                       : 1.0;
+    double scale = drawWorkScale();
     // Every request issues its accesses evenly through its
     // instruction budget and *ends* on an access, so completion time
     // is observed precisely via onAccessComplete.
@@ -158,7 +177,7 @@ TailLatencyApp::next(Tick now, Rng &rng)
         completionPending_ = true;
         inService_ = false;
     }
-    return AppStep::execute(gap, stream_.draw(rng));
+    return AppStep::execute(gap, drawAccess(rng));
 }
 
 void
@@ -170,6 +189,7 @@ TailLatencyApp::onAccessComplete(Tick finish)
     double latency = static_cast<double>(finish - serviceArrivalTick_);
     latencies_.add(latency);
     completed_++;
+    recordCompletion(finish, latency);
     if (listener_) listener_(finish, latency);
 }
 

@@ -87,6 +87,13 @@ class TailLatencyApp : public AppModel
     const SampleStat &latencies() const { return latencies_; }
     SampleStat &mutableLatencies() { return latencies_; }
 
+    /**
+     * Discards request statistics gathered so far (called when the
+     * measurement window opens). Subclasses that keep extra
+     * per-request records reset them here too.
+     */
+    virtual void clearMeasurement() { latencies_.clear(); }
+
     std::uint64_t requestsCompleted() const { return completed_; }
     std::uint64_t requestsArrived() const { return arrived_; }
 
@@ -97,6 +104,31 @@ class TailLatencyApp : public AppModel
     }
 
     const TailAppParams &params() const { return params_; }
+
+  protected:
+    /**
+     * Work multiplier for the request about to start. The default
+     * draws the heavy/light bernoulli; subclasses draw richer
+     * per-request state (e.g. a KV op type and key). Must consume
+     * only heavyRng() so the request sequence stays identical
+     * across LLC designs.
+     */
+    virtual double drawWorkScale();
+
+    /** Address of the next LLC access of the in-service request. */
+    virtual LineAddr drawAccess(Rng &rng);
+
+    /**
+     * Called once per completed request, after the latency has been
+     * recorded but before the completion listener fires.
+     */
+    virtual void recordCompletion(Tick finish, double latency);
+
+    /** Per-request draw stream, decoupled from arrivals. */
+    Rng &heavyRng() { return heavyRng_; }
+
+    /** Arrival tick of the request currently in service. */
+    Tick serviceArrivalTick() const { return serviceArrivalTick_; }
 
   private:
     void drainArrivals(Tick now);

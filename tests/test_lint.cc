@@ -355,6 +355,91 @@ TEST(LintFixtures, StatXrefAndSchemaXrefAcrossArtifacts)
     EXPECT_EQ(fs.size(), 8u);
 }
 
+// ------------------------------------------------ KV phase columns
+
+TEST(LintStatXref, KvPhaseColumnsCheckAgainstLoadTraceLabels)
+{
+    // The apps.kv.<phase> stat names interpolate the phase at
+    // runtime, so the generic binding pattern (apps.kv.*.p95)
+    // matches any phase string; the pass must instead compare the
+    // segment against the addPhase() labels of the presets.
+    const std::string spec = R"(
+void parseSpec(const Json &json, Spec &spec)
+{
+    ObjectReader r(json, "");
+    r.get("name");
+    r.get("output");
+    ObjectReader o(json, "output");
+    o.get("columns");
+}
+void parseColumn(const Json &item, const std::string &path)
+{
+    ObjectReader c(item, path);
+    c.get("key");
+}
+const std::vector<std::string> &columnKeys()
+{
+    static const std::vector<std::string> kKeys = {"tailWorst"};
+    return kKeys;
+}
+)";
+    const std::string config = R"(
+void applyConfigJson(const Json &json, SystemConfig &cfg)
+{
+    ObjectReader r(json, "");
+    setU32(r, "epochTicks", &cfg.epochTicks);
+}
+)";
+    const std::string binder = R"(
+void registerKvStats(StatRegistry &reg, const std::string &phase)
+{
+    reg.addFormula("apps.kv." + phase + ".p95", "phase tail", fn);
+}
+)";
+    const std::string trace = R"(
+LoadTrace flashCrowd(Tick warmup, Tick measure)
+{
+    LoadTrace t;
+    t.addPhase("before", 100, 1.0, 1.0);
+    t.addPhase("spike", 30, 4.0, 4.0);
+    t.addPhase("after", 70, 1.0, 1.0);
+    return t;
+}
+)";
+    const std::string scenario = R"({
+  "name": "kv phase fixture",
+  "output": {
+    "columns": [
+      {"key": "apps.kv.spike.p95"},
+      {"key": "apps.kv.spoke.p95"},
+      {"key": "tailWorst"}
+    ]
+  }
+})";
+
+    std::vector<std::pair<std::string, std::string>> files = {
+        {"src/driver/spec.cc", spec},
+        {"src/system/config_json.cc", config},
+        {"src/system/binder.cc", binder},
+        {"src/workloads/kv/load_trace.cc", trace},
+        {"examples/scenarios/kv.json", scenario}};
+    auto fs = lintMemory(files);
+    EXPECT_TRUE(hasFinding(fs, "stat-xref", "kv.json",
+                           "phase \"spoke\""));
+    EXPECT_TRUE(hasFinding(fs, "stat-xref", "kv.json",
+                           "known: after|before|spike"));
+    EXPECT_EQ(countRule(fs, "stat-xref"), 1u);
+    EXPECT_EQ(countRule(fs, "schema-xref"), 0u);
+
+    // Without a load_trace.cc in the scan set the phase check
+    // degrades away (the binding pattern still matches), rather
+    // than flagging every phase as unknown.
+    files.erase(files.begin() + 3);
+    auto fs2 = lintMemory(files);
+    EXPECT_EQ(countRule(fs2, "stat-xref"), 0u);
+    EXPECT_EQ(countRule(fs2, "schema-xref"), 0u);
+}
+
 // ----------------------------------------------- Fixture: suppressions
 
 TEST(LintFixtures, SuppressionAuditFlagsStaleAndUnjustified)

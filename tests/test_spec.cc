@@ -161,6 +161,8 @@ TEST(Spec, BuildersMatchTheShippedScenarioFiles)
          root + "/examples/scenarios/fig13_small.json"},
         {bench::specs::epochLoadGrid(),
          root + "/examples/scenarios/epoch_load_grid.json"},
+        {bench::specs::kvFlashCrowd(),
+         root + "/examples/scenarios/kv_flash_crowd.json"},
     };
     for (const Pair &p : pairs) {
         ExperimentSpec fromFile = ExperimentSpec::fromJson(
@@ -178,6 +180,7 @@ TEST(Spec, JsonRoundTripIsANormalForm)
         bench::specs::fig16IdealBatch(), bench::specs::fig17VmScaling(),
         bench::specs::fig18NocSensitivity(),
         bench::specs::ablationVariants(), bench::specs::epochLoadGrid(),
+        bench::specs::kvFlashCrowd(),
     };
     for (const ExperimentSpec &spec : specs) {
         std::string canonical = spec.toJson().dump(2);
@@ -222,7 +225,8 @@ TEST(Spec, ValidationRejectsShapeMismatches)
             ExperimentSpec::fromJson(badColumn.toJson());
         }),
         "fatal: output.columns[0].key: unknown column key \"bogus\" "
-        "(tailMean|tailWorst|batchWS|batchWSMean|attackers)");
+        "(tailMean|tailWorst|batchWS|batchWSMean|attackers, or a "
+        "dotted stat name)");
 }
 
 TEST(Spec, ExpansionOrderIsStableAndSeedsDeriveFromTheBase)

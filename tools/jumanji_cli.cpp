@@ -18,8 +18,16 @@
  *                          and exits 0 iff the document is valid
  *     --design <name>      Static|Adaptive|VM-Part|Jigsaw|Jumanji|
  *                          Insecure|IdealBatch (default: all five main)
- *     --lc <name|Mixed>    latency-critical app selection
- *                          (masstree|xapian|img-dnn|silo|moses|Mixed)
+ *     --lc <name|Mixed>    latency-critical app selection: a
+ *                          TailBench-like app
+ *                          (masstree|xapian|img-dnn|silo|moses), a
+ *                          KV-serving app (kv_small, kv_ycsb_a..f;
+ *                          see --list-apps), or Mixed = the five
+ *                          TailBench apps
+ *     --list-apps          print the latency-critical (TailBench +
+ *                          KV) and batch (SPEC-like) app catalogs
+ *                          with footprint and access intensity, then
+ *                          exit
  *     --load <low|high>    offered load (default high)
  *     --vms <n>            number of VMs (default 4)
  *     --batch <n>          batch apps per VM (default 4)
@@ -54,7 +62,13 @@
  *                          mixes, seed, wall_seconds,
  *                          simulated_accesses, accesses_per_sec,
  *                          and a per-phase breakdown) as JSON;
- *                          tools/perf_history compares snapshots
+ *                          tools/perf_history compares snapshots.
+ *                          Combined with --scenario, the scenario's
+ *                          grid is the timed workload instead (cache
+ *                          still disabled; calibration is folded
+ *                          into simulate_s because the phase split
+ *                          lives inside driver::runSpec, where
+ *                          wall-clock reads are banned)
  *     --profile <file>     enable the host-side scope profiler
  *                          (src/sim/profiler.hh) and write its
  *                          aggregated JSON report (where the wall
@@ -101,6 +115,9 @@
 #include "src/sim/statreg.hh"
 #include "src/sim/tracing.hh"
 #include "src/system/harness.hh"
+#include "src/workloads/kv/kv_store.hh"
+#include "src/workloads/spec_like.hh"
+#include "src/workloads/tail_latency.hh"
 
 using namespace jumanji;
 
@@ -111,7 +128,7 @@ usage(const char *argv0, int exitCode = 2)
 {
     std::fprintf(exitCode == 0 ? stdout : stderr,
                  "usage: %s [--scenario FILE] [--scenario-check FILE] "
-                 "[--design <name>] [--lc <name|Mixed>] "
+                 "[--design <name>] [--lc <name|Mixed>] [--list-apps] "
                  "[--load low|high] [--vms N] [--batch N] [--mixes N] "
                  "[--seed N] [--paper-scale] [--jobs N] "
                  "[--cache-dir DIR] [--sweep] [--selfcheck] "
@@ -132,6 +149,42 @@ loadScenario(const std::string &path)
     std::string text((std::istreambuf_iterator<char>(is)),
                      std::istreambuf_iterator<char>());
     return driver::ExperimentSpec::fromJson(JsonValue::parse(text, path));
+}
+
+/** Resident footprint of a working-set mixture, in MB (streaming
+ *  sets are unbounded compulsory-miss traffic, so they are excluded
+ *  — the same accounting AddressStream::footprintLines uses). */
+double
+footprintMB(const std::vector<WorkingSet> &sets)
+{
+    std::uint64_t lines = 0;
+    for (const WorkingSet &ws : sets)
+        if (!ws.streaming) lines += ws.lines;
+    return static_cast<double>(lines) * 64.0 / (1024.0 * 1024.0);
+}
+
+/**
+ * --list-apps: the three app catalogs a mix can draw from, with the
+ * two numbers that determine cache behavior — resident footprint and
+ * access intensity (LLC accesses per kilo-instruction).
+ */
+int
+listApps()
+{
+    std::printf("%-10s %-14s %14s %8s\n", "kind", "name",
+                "footprint(MB)", "apki");
+    for (const TailAppParams &p : tailAppCatalog())
+        std::printf("%-10s %-14s %14.2f %8.1f\n", "lc/tail",
+                    p.name.c_str(), footprintMB(p.workingSets), p.apki);
+    for (const KvAppParams &kv : kvAppCatalog()) {
+        const TailAppParams &p = kvTailAppParams(kv.name);
+        std::printf("%-10s %-14s %14.2f %8.1f\n", "lc/kv",
+                    p.name.c_str(), footprintMB(p.workingSets), p.apki);
+    }
+    for (const SpecAppParams &p : specAppCatalog())
+        std::printf("%-10s %-14s %14.2f %8.1f\n", "batch",
+                    p.name.c_str(), footprintMB(p.workingSets), p.apki);
+    return 0;
 }
 
 /** "%.17g"-style round-trip formatting, integers without a fraction. */
@@ -328,6 +381,67 @@ runBenchJson(const std::string &path, const SystemConfig &cfg,
 }
 
 /**
+ * --scenario + --bench-json: the scenario's expanded grid is the
+ * timed workload. Same discipline as runBenchJson — the result cache
+ * is always disabled so a warm cache cannot masquerade as a speedup,
+ * and simulated_accesses is summed from the stats stream so a
+ * semantic change is distinguishable from a throughput change. The
+ * calibrate/simulate split is not observable from out here (it lives
+ * inside driver::runSpec, where wall-clock reads are banned by the
+ * clock-routing lint rule), so the whole run is reported as
+ * simulate_s.
+ */
+int
+runScenarioBenchJson(const std::string &path,
+                     const driver::ExperimentSpec &spec,
+                     std::uint32_t jobs,
+                     const driver::TelemetryOptions &telemetry)
+{
+    driver::Orchestrator::Options opts;
+    opts.jobs = jobs;
+    opts.telemetry = telemetry;
+    driver::Orchestrator orch(opts);
+
+    auto start = std::chrono::steady_clock::now();
+    driver::SpecRun run = driver::runSpec(spec, orch);
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+    double accesses = 0.0;
+    for (const MixResult &mix : run.results)
+        for (const DesignResult &d : mix.designs)
+            accesses += d.run.stat("llc.hits") + d.run.stat("llc.misses");
+
+    double rate = wall > 0.0 ? accesses / wall : 0.0;
+
+    std::ofstream os(path);
+    if (!os) fatal("cannot open " + path);
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"schema\": \"jumanji-bench-v2\",\n"
+                  " \"codeVersion\": \"%s\",\n"
+                  " \"jobs\": %u,\n"
+                  " \"mixes\": %u,\n"
+                  " \"seed\": %llu,\n"
+                  " \"wall_seconds\": %.3f,\n"
+                  " \"simulated_accesses\": %.0f,\n"
+                  " \"accesses_per_sec\": %.0f,\n"
+                  " \"phases\": {\"calibrate_s\": 0.000, "
+                  "\"simulate_s\": %.3f, \"report_s\": 0.000}}\n",
+                  driver::kCodeVersion, jobs, run.plan.mixCount,
+                  static_cast<unsigned long long>(run.plan.base.seed),
+                  wall, accesses, rate, wall);
+    os << buf;
+
+    std::printf("bench: scenario %s: %.0f accesses in %.3f s = "
+                "%.0f accesses/s (%u jobs) -> %s\n",
+                spec.name.c_str(), accesses, wall, rate, jobs,
+                path.c_str());
+    return 0;
+}
+
+/**
  * Flushes the main thread's scopes into the process aggregate (the
  * pool already flushed each worker at drain) and writes the profile
  * report. No-op without --profile.
@@ -397,9 +511,11 @@ main(int argc, char **argv)
                 if (name == "Mixed") {
                     lcNames = allTailAppNames();
                 } else {
-                    tailAppParams(name); // validates
+                    lcAppParams(name); // validates (tail or KV)
                     lcNames = {name};
                 }
+            } else if (arg == "--list-apps") {
+                return listApps();
             } else if (arg == "--load") {
                 std::string level = next();
                 if (level == "low") load = LoadLevel::Low;
@@ -508,6 +624,12 @@ main(int argc, char **argv)
             return 2;
         }
         try {
+            if (!benchJsonPath.empty()) {
+                int rc = runScenarioBenchJson(benchJsonPath, spec,
+                                              jobs, telemetry);
+                writeProfileJson(profilePath);
+                return rc;
+            }
             std::unique_ptr<Tracer> tracer;
             if (!traceOutPath.empty())
                 tracer = std::make_unique<Tracer>();

@@ -27,7 +27,12 @@
  * columns) pool their keys into one item schema. Aggregate column
  * keys come from columnKeys() in spec.cc; a column "key" that is
  * neither an aggregate nor a resolvable dotted stat name is a
- * finding.
+ * finding. apps.kv.<phase>.* column keys get a stricter check: the
+ * phase segment is interpolated into the stat name at runtime (the
+ * binding pattern is apps.kv.*.p95, which any phase string matches),
+ * so the segment is validated against the addPhase() label literals
+ * of the load-trace presets (any load_trace.cc in the scan set);
+ * without that file the phase check is skipped.
  *
  * Both passes degrade gracefully on partial scans: no bindings in
  * the scan set disables reference checking, and missing schema
@@ -428,6 +433,39 @@ extractSchemas(const SourceFile &sf)
     return out;
 }
 
+/**
+ * Collects every addPhase("label", ...) first-argument literal.
+ * Called on load_trace.cc files only: the preset builders there are
+ * the single source of the phase labels the apps.kv.<phase>.* stat
+ * names are built from. The LoadTrace::addPhase definition itself is
+ * skipped naturally (its first token after "(" is "const", not a
+ * string).
+ */
+void
+extractPhaseLabels(const SourceFile &sf, std::set<std::string> &out)
+{
+    const Tokens &ts = sf.lexed.tokens;
+    for (std::size_t i = 0; i + 2 < ts.size(); i++)
+        if (ts[i].kind == Tok::Ident && ts[i].text == "addPhase" &&
+            tokIs(ts, i + 1, "(") && ts[i + 2].kind == Tok::String)
+            out.insert(ts[i + 2].text);
+}
+
+/**
+ * The <phase> segment of an "apps.kv.<phase>.<leaf>" stat name, or
+ * "" when @p key has a different shape.
+ */
+std::string
+kvPhaseSegment(const std::string &key)
+{
+    static const char kPrefix[] = "apps.kv.";
+    const std::size_t start = sizeof(kPrefix) - 1;
+    if (key.rfind(kPrefix, 0) != 0) return std::string();
+    std::size_t dot = key.find('.', start);
+    if (dot == std::string::npos) return std::string();
+    return key.substr(start, dot - start);
+}
+
 /** The aggregate column keys from columnKeys() in spec.cc. */
 std::set<std::string>
 extractAggregates(const SourceFile &sf)
@@ -628,12 +666,18 @@ runStatXrefPass(LintContext &ctx)
     Extracted ex;
     const SourceFile *specFile = nullptr;
     const SourceFile *configFile = nullptr;
+    std::set<std::string> phaseLabels;
+    bool havePhaseSource = false;
     for (const SourceFile &sf : ctx.files) {
         if (sf.isJson) continue;
         extractFromFile(sf, ex);
         if (pathEndsWith(sf.relPath, "driver/spec.cc")) specFile = &sf;
         if (pathEndsWith(sf.relPath, "system/config_json.cc"))
             configFile = &sf;
+        if (pathEndsWith(sf.relPath, "load_trace.cc")) {
+            havePhaseSource = true;
+            extractPhaseLabels(sf, phaseLabels);
+        }
     }
 
     const bool haveBindings = !ex.bindings.empty();
@@ -784,7 +828,21 @@ runStatXrefPass(LintContext &ctx)
                         continue;
                     if (aggregates.count(key->str) != 0) continue;
                     if (hasLiteralDot(key->str)) {
-                        if (haveBindings && !resolves(key->str))
+                        // The phase segment is interpolated into the
+                        // stat name at runtime, so the generic
+                        // pattern check accepts any string there;
+                        // check it against the preset labels.
+                        std::string phase = kvPhaseSegment(key->str);
+                        if (havePhaseSource && !phase.empty() &&
+                            phaseLabels.count(phase) == 0)
+                            reportAt(sf, key->line, "stat-xref",
+                                     "column key \"" + key->str +
+                                         "\" names KV load-trace "
+                                         "phase \"" + phase +
+                                         "\" but no addPhase() "
+                                         "label matches (known: " +
+                                         joined(phaseLabels) + ")");
+                        else if (haveBindings && !resolves(key->str))
                             reportAt(sf, key->line, "stat-xref",
                                      "column references stat \"" +
                                          key->str +
